@@ -1,0 +1,18 @@
+"""Figure 1: the 5x5 blocked-Cholesky task graph."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure1
+
+
+def test_fig01_cholesky_task_graph(benchmark):
+    result = run_once(benchmark, figure1.run, 5)
+    print("\n" + figure1.format_report(result).split("\n\n")[0])
+    # 35 tasks of four kernel classes, exactly as drawn in Figure 1.
+    assert result.num_tasks == 35
+    assert set(result.kernels) == {"spotrf", "strsm", "ssyrk", "sgemm"}
+    # The figure's distant-parallelism example: tasks 6 and 23 can run in parallel.
+    assert result.distant_parallel_pair_independent
+    # The graph is irregular but narrow: much shorter than 35 levels, wider than 1.
+    assert 5 <= result.critical_path_tasks <= 20
+    assert result.max_width >= 4
+    assert len(result.true_edges) > 35

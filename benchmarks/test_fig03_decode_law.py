@@ -1,0 +1,17 @@
+"""Figure 3: the decode-rate law R = T / P."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3
+
+
+def test_fig03_decode_rate_law(benchmark):
+    points = run_once(benchmark, figure3.run)
+    print("\n" + figure3.format_table(points))
+    by_p = {p.num_processors: p for p in points}
+    # Section II: 15 us shortest tasks on a 256-way CMP -> ~58 ns per task.
+    assert abs(by_p[256].decode_limit_ns - 58.6) < 1.0
+    # The law is inverse in P.
+    assert by_p[32].decode_limit_ns > by_p[64].decode_limit_ns > by_p[256].decode_limit_ns
+    # The 700 ns software decoder saturates a couple of dozen cores at most.
+    assert figure3.software_processor_limit() < 32
+    assert by_p[256].software_utilization < 0.15

@@ -1,0 +1,21 @@
+"""Table I: regenerate the benchmark catalogue and compare with the paper."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1_catalog(benchmark):
+    rows = run_once(benchmark, table1.run)
+    print("\n" + table1.format_table(rows))
+    assert len(rows) == 9
+    for row in rows:
+        spec, measured = row["spec"], row["measured"]
+        # The measured runtime statistics must reproduce the published ones to
+        # within a modest tolerance (the generators are tuned to Table I).
+        assert abs(measured["min_runtime_us"] - spec.min_runtime_us) <= max(
+            2.0, 0.35 * spec.min_runtime_us), row["name"]
+        assert abs(measured["avg_runtime_us"] - spec.avg_runtime_us) <= max(
+            3.0, 0.3 * spec.avg_runtime_us), row["name"]
+        # Decode-rate limits follow directly from the minimum runtimes.
+        assert abs(measured["decode_limit_ns"] - spec.decode_limit_ns) <= max(
+            2.0, 0.35 * spec.decode_limit_ns), row["name"]

@@ -1,0 +1,16 @@
+"""Table II: the simulated-system configuration summary."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_table2_configuration(benchmark):
+    rows = run_once(benchmark, table2.run)
+    print("\n" + table2.format_table(rows))
+    assert set(rows) == set(table2.PAPER_TABLE2)
+    assert "3.2GHz" in rows["Cores"]
+    assert "64KB" in rows["L1"] and "4-way" in rows["L1"]
+    assert "32 banks" in rows["L2"] and "22 cycles" in rows["L2"]
+    assert "4 memory controllers" in rows["Memory"]
+    assert "two-level ring" in rows["Interconnect"]
+    assert "22 cycles eDRAM" in rows["Task pipeline"]

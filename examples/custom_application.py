@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bringing your own application: a blocked Jacobi stencil.
+
+The nine Table I benchmarks ship with the library, but the point of the
+programming model is that *any* sequential program whose kernels expose their
+operands can be decoded and parallelised by the pipeline.  This example
+writes a 1D blocked Jacobi relaxation from scratch:
+
+* each sweep reads every block together with its left/right neighbours and
+  writes the next-iteration block (a classic stencil),
+* a small residual-reduction closes each sweep,
+* the program is executed functionally (sequential vs. dataflow order) to
+  prove the annotations expose every side effect,
+* the recorded trace is written to disk, read back and simulated on the
+  task-superscalar pipeline and the software runtime.
+
+Run with::
+
+    python examples/custom_application.py [--blocks 64] [--sweeps 6]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import run_trace, run_trace_software
+from repro.runtime import AddressSpace, DataflowExecutor, SequentialExecutor, TaskProgram, task
+from repro.runtime.taskgraph import build_dependency_graph
+from repro.trace.io import read_trace, write_trace
+from repro.common.units import us_to_cycles
+
+
+# --- Kernels -----------------------------------------------------------------
+
+@task(left="input", centre="input", right="input", out="output")
+def relax(left, centre, right, out):
+    """One Jacobi relaxation step on a block (averaging with halo blocks)."""
+    halo_left = left.data[-1] if left.data else centre.data[0]
+    halo_right = right.data[0] if right.data else centre.data[-1]
+    padded = [halo_left, *centre.data, halo_right]
+    out.data = [(padded[i - 1] + padded[i + 1]) / 2.0 for i in range(1, len(padded) - 1)]
+
+
+@task(new="input", old="input", residual="inout")
+def accumulate_residual(new, old, residual):
+    """Accumulate the L1 difference between two versions of a block."""
+    residual.data += sum(abs(a - b) for a, b in zip(new.data, old.data))
+
+
+def build_program(blocks: int, sweeps: int, elems: int = 64) -> TaskProgram:
+    """Record the sequential Jacobi program as a task trace."""
+    space = AddressSpace()
+    current = [space.alloc(elems * 8, name=f"u[{i}]",
+                           data=[float((i * elems + j) % 17) for j in range(elems)])
+               for i in range(blocks)]
+    scratch = [space.alloc(elems * 8, name=f"v[{i}]", data=[0.0] * elems)
+               for i in range(blocks)]
+    residual = space.alloc(8, name="residual", data=0.0)
+
+    def runtime_model(kernel, data_bytes, operands):
+        return us_to_cycles(12.0 if kernel == "relax" else 4.0)
+
+    program = TaskProgram("jacobi", runtime_model=runtime_model)
+    with program:
+        src, dst = current, scratch
+        for _sweep in range(sweeps):
+            for i in range(blocks):
+                left = src[i - 1] if i > 0 else src[i]
+                right = src[i + 1] if i + 1 < blocks else src[i]
+                relax(left, src[i], right, dst[i])
+            for i in range(blocks):
+                accumulate_residual(dst[i], src[i], residual)
+            src, dst = dst, src
+    return program
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=64)
+    parser.add_argument("--sweeps", type=int, default=6)
+    parser.add_argument("--cores", type=int, default=64)
+    args = parser.parse_args()
+
+    # 1. Functional verification: any dependency-respecting order must give
+    #    the same residual as the sequential program.
+    sequential = build_program(args.blocks, args.sweeps)
+    SequentialExecutor().run(sequential.recorded)
+    seq_residual = sequential.recorded[-1].args[2].data
+
+    dataflow = build_program(args.blocks, args.sweeps)
+    DataflowExecutor(seed=7).run(dataflow.recorded)
+    ooo_residual = dataflow.recorded[-1].args[2].data
+    assert abs(seq_residual - ooo_residual) < 1e-9, "annotations missed a side effect"
+    print(f"functional check passed: residual = {seq_residual:.3f} in both orders")
+
+    # 2. Trace round trip: record once, store, reload, simulate.
+    trace = build_program(args.blocks, args.sweeps).trace()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "jacobi.trace.jsonl"
+        write_trace(trace, path)
+        trace = read_trace(path)
+    graph = build_dependency_graph(trace)
+    print(f"{len(trace)} tasks, dataflow limit {graph.dataflow_speedup_limit():.1f}x, "
+          f"max width {graph.max_width()}")
+
+    # 3. Simulate both runtimes.
+    hardware = run_trace(trace, num_cores=args.cores, validate=True)
+    software = run_trace_software(trace, num_cores=args.cores, validate=True)
+    print(f"task superscalar on {args.cores} cores: {hardware.speedup:.1f}x "
+          f"(decode {hardware.decode_rate_ns:.0f} ns/task, "
+          f"window peak {hardware.window_peak_tasks})")
+    print(f"software runtime on {args.cores} cores: {software.speedup:.1f}x "
+          f"(decode {software.decode_rate_ns:.0f} ns/task)")
+
+
+if __name__ == "__main__":
+    main()

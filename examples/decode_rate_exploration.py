@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Exploring the frontend design space: decode rate vs. tiles (Figures 12/13).
+
+The frontend's decode rate -- how quickly new tasks are added to the task
+graph -- determines how many cores it can feed (the Figure 3 law).  This
+example sweeps the number of TRSs and ORTs/OVTs for one benchmark and prints
+the decode rate of every configuration next to the rate limits for 128- and
+256-core machines, mirroring Figure 12 of the paper.
+
+Run with::
+
+    python examples/decode_rate_exploration.py [--workload Cholesky]
+"""
+
+import argparse
+
+from repro.analysis.metrics import decode_rate_limit_ns
+from repro.experiments import decode_rate
+from repro.workloads import registry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="Cholesky",
+                        choices=registry.all_workload_names())
+    parser.add_argument("--max-tasks", type=int, default=400,
+                        help="decode-rate measurement uses a trace prefix")
+    args = parser.parse_args()
+
+    points = decode_rate.sweep_workload(args.workload,
+                                        trs_counts=(1, 2, 4, 8, 16),
+                                        ort_counts=(1, 2, 4),
+                                        max_tasks=args.max_tasks)
+    print(decode_rate.format_series(points))
+
+    spec = registry.get_spec(args.workload)
+    print(f"\n{args.workload}: shortest tasks run for ~{spec.min_runtime_us} us, so the "
+          "decode-rate limits are "
+          f"{decode_rate_limit_ns(spec.min_runtime_us, 128):.0f} ns/task for 128 cores and "
+          f"{decode_rate_limit_ns(spec.min_runtime_us, 256):.0f} ns/task for 256 cores.")
+    best = min(points, key=lambda p: p.decode_rate_cycles)
+    print(f"best configuration swept: {best.num_trs} TRS / {best.num_ort} ORT at "
+          f"{best.decode_rate_ns:.0f} ns/task")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Analysis utilities: decode-rate law, speedups, window statistics.
+
+* :mod:`repro.analysis.metrics` -- the Figure 3 decode-rate law
+  (``R = T / P``), speedup/utilisation helpers and aggregate statistics.
+* :mod:`repro.analysis.window` -- task-window occupancy analysis from the
+  time-stamped samples the simulator records.
+* :func:`repro.runtime.taskgraph.DependencyGraph.critical_path_cycles` (in the
+  runtime package) provides the dataflow-limit analysis the speedup numbers
+  are bounded by.
+"""
+
+from repro.analysis.chains import chain_length_histogram, chain_summary
+from repro.analysis.metrics import (
+    decode_rate_limit_ns,
+    geometric_mean,
+    ideal_utilization,
+    max_processors_for_decode_rate,
+    speedup,
+)
+from repro.analysis.window import WindowStats, analyze_window_samples
+
+__all__ = [
+    "chain_length_histogram",
+    "chain_summary",
+    "decode_rate_limit_ns",
+    "geometric_mean",
+    "ideal_utilization",
+    "max_processors_for_decode_rate",
+    "speedup",
+    "WindowStats",
+    "analyze_window_samples",
+]

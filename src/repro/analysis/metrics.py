@@ -1,0 +1,84 @@
+"""Decode-rate law and aggregate performance metrics.
+
+Section II of the paper derives the *decode-rate law* illustrated by
+Figure 3: to keep ``P`` processors busy with tasks of runtime ``T``, a new
+task must be decoded every ``R = T / P`` time units.  The law is driven by
+the runtime of the *shortest* tasks of an application (they are the first to
+expose decode latency), which is why Table I computes each benchmark's
+decode-rate limit from its minimum task runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.common.errors import WorkloadError
+
+
+def decode_rate_limit_ns(task_runtime_us: float, num_processors: int) -> float:
+    """The Figure 3 law: maximum tolerable decode time per task, R = T / P.
+
+    Args:
+        task_runtime_us: Task runtime ``T`` in microseconds (use the
+            application's *minimum* task runtime for the Table I limits).
+        num_processors: Machine width ``P``.
+
+    Returns:
+        The decode-rate limit in nanoseconds per task.
+    """
+    if task_runtime_us <= 0:
+        raise WorkloadError("task runtime must be positive")
+    if num_processors <= 0:
+        raise WorkloadError("num_processors must be positive")
+    return task_runtime_us * 1000.0 / num_processors
+
+
+def max_processors_for_decode_rate(task_runtime_us: float, decode_ns: float) -> int:
+    """Largest machine a given decode rate can keep busy (inverse of the law).
+
+    For example, the 700 ns software decoder with 15 us tasks supports about
+    21 processors; the 58 ns hardware target supports about 258.
+    """
+    if decode_ns <= 0:
+        raise WorkloadError("decode rate must be positive")
+    return int(task_runtime_us * 1000.0 // decode_ns)
+
+
+def ideal_utilization(task_runtime_us: float, decode_ns: float,
+                      num_processors: int) -> float:
+    """Machine utilisation achievable at a given decode rate (Figure 3 model).
+
+    If the decode rate meets the law the utilisation is 1.0; otherwise the
+    machine is limited to ``T / (R * P)`` because processors wait for decode.
+    """
+    if num_processors <= 0:
+        raise WorkloadError("num_processors must be positive")
+    if decode_ns <= 0:
+        raise WorkloadError("decode rate must be positive")
+    limit = decode_rate_limit_ns(task_runtime_us, num_processors)
+    return min(1.0, limit / decode_ns)
+
+
+def speedup(sequential_cycles: float, parallel_cycles: float) -> float:
+    """Speedup of a parallel execution over the sequential one."""
+    if parallel_cycles <= 0:
+        raise WorkloadError("parallel execution time must be positive")
+    return sequential_cycles / parallel_cycles
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise WorkloadError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

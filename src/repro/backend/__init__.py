@@ -1,0 +1,14 @@
+"""The execution backend: scheduler, queuing system and CMP assembly.
+
+* :class:`repro.backend.scheduler.TaskScheduler` -- the Carbon-like queuing
+  system that dispatches ready tasks to idle worker cores and routes task
+  completions back to the frontend.
+* :class:`repro.backend.system.TaskSuperscalarSystem` -- the complete
+  simulated machine (task-generating thread + frontend + scheduler + cores)
+  and the :class:`repro.backend.system.SimulationResult` it produces.
+"""
+
+from repro.backend.scheduler import TaskScheduler
+from repro.backend.system import SimulationResult, TaskSuperscalarSystem, run_trace
+
+__all__ = ["TaskScheduler", "SimulationResult", "TaskSuperscalarSystem", "run_trace"]

@@ -1,0 +1,99 @@
+"""The backend task scheduler (the Carbon-like queuing system).
+
+Ready tasks arrive in the :class:`repro.frontend.ready_queue.ReadyQueue`; the
+scheduler dispatches them to idle worker cores, charging a small hardware
+dispatch latency, and notifies the owning TRS when a task completes (plus a
+completion latency).  Dispatch order is FIFO and there is no task stealing,
+matching the evaluated system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import BackendConfig
+from repro.common.errors import SchedulingError
+from repro.common.ids import TaskID
+from repro.cores.core import WorkerCore
+from repro.frontend.messages import TaskReady
+from repro.frontend.ready_queue import ReadyQueue
+from repro.sim.engine import Engine
+from repro.sim.module import SimModule
+from repro.sim.stats import StatsCollector
+from repro.trace.records import TaskRecord
+
+
+class TaskScheduler(SimModule):
+    """Dispatches ready tasks onto worker cores and reports completions."""
+
+    def __init__(self, engine: Engine, config: BackendConfig, cores: List[WorkerCore],
+                 ready_queue: ReadyQueue, frontend,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, "scheduler", stats)
+        self.config = config
+        self.cores = cores
+        self.ready_queue = ready_queue
+        self.frontend = frontend
+        self.ready_queue.on_task_available = self._dispatch_pending
+        self._idle_cores: List[int] = list(range(len(cores)))
+        #: Completion log: (task sequence, start cycle, finish cycle, core index).
+        self.completions: List[Tuple[int, int, int, int]] = []
+        self._start_times: Dict[TaskID, int] = {}
+        self.tasks_completed = 0
+        self.last_completion_time = 0
+        #: Optional callback fired on every task completion.
+        self.on_task_complete: Optional[Callable[[TaskID, TaskRecord], None]] = None
+        #: Optional hook returning extra execution cycles for a task on a core
+        #: (used by the data-transfer model: operand movement cost).
+        self.runtime_extension: Optional[Callable[[TaskRecord, int], int]] = None
+
+    # -- Dispatch --------------------------------------------------------------------
+
+    def _dispatch_pending(self) -> None:
+        while self._idle_cores and len(self.ready_queue) > 0:
+            ready = self.ready_queue.pop()
+            if ready is None:  # pragma: no cover - guarded by the length check
+                break
+            core_index = self._idle_cores.pop()
+            self.schedule(self.config.dispatch_latency_cycles,
+                          self._start_task, ready, core_index)
+
+    def _start_task(self, ready: TaskReady, core_index: int) -> None:
+        core = self.cores[core_index]
+        self._start_times[ready.task] = self.now
+        self.stats.count("scheduler.dispatches")
+        record = ready.record
+        if self.runtime_extension is not None:
+            extra = self.runtime_extension(record, core_index)
+            if extra:
+                self.stats.count("scheduler.transfer_cycles", extra)
+                record = replace(record, runtime_cycles=record.runtime_cycles + extra)
+        core.execute(ready.task, record, self._task_finished)
+
+    def _task_finished(self, task: TaskID, record: TaskRecord, core_index: int) -> None:
+        start = self._start_times.pop(task, None)
+        if start is None:
+            raise SchedulingError(f"completion for task {task} that never started")
+        self.completions.append((record.sequence, start, self.now, core_index))
+        self.tasks_completed += 1
+        self.last_completion_time = self.now
+        self.stats.count("scheduler.completions")
+        self._idle_cores.append(core_index)
+        if self.on_task_complete is not None:
+            self.on_task_complete(task, record)
+        # Notify the frontend so the TRS can run the completion path.
+        self.frontend.notify_finished(task, latency=self.config.completion_latency_cycles)
+        # The freed core may immediately pick up more work.
+        self._dispatch_pending()
+
+    # -- Introspection -----------------------------------------------------------------
+
+    @property
+    def idle_core_count(self) -> int:
+        """Number of cores currently idle."""
+        return len(self._idle_cores)
+
+    def schedule_table(self) -> Dict[int, Tuple[int, int]]:
+        """Mapping of task sequence -> (start, finish) cycles."""
+        return {seq: (start, finish) for seq, start, finish, _ in self.completions}

@@ -1,0 +1,194 @@
+"""The complete simulated task-superscalar machine.
+
+:class:`TaskSuperscalarSystem` assembles a task-generating thread, the
+distributed frontend, the Carbon-like scheduler and the worker cores into one
+discrete-event simulation, runs a task trace through it and returns a
+:class:`SimulationResult` with the measurements the paper's evaluation uses:
+makespan, speedup over sequential execution, task decode rate, task-window
+occupancy and module-level statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import SimulationConfig, default_table2_config
+from repro.common.errors import SchedulingError
+from repro.common.units import cycles_to_ns, cycles_to_us
+from repro.cores.core import WorkerCore
+from repro.cores.generator import TaskGeneratingThread
+from repro.backend.scheduler import TaskScheduler
+from repro.frontend.pipeline import TaskSuperscalarFrontend
+from repro.runtime.taskgraph import build_dependency_graph
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsCollector
+from repro.trace.records import TaskTrace
+
+
+@dataclass
+class SimulationResult:
+    """Measurements from one simulated run."""
+
+    trace_name: str
+    num_tasks: int
+    num_cores: int
+    makespan_cycles: int
+    sequential_cycles: int
+    decode_rate_cycles: float
+    decode_rate_ns: float
+    tasks_decoded: int
+    tasks_completed: int
+    window_peak_tasks: int
+    window_mean_tasks: float
+    ready_queue_peak: int
+    generator_stall_cycles: int
+    core_utilization: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over sequential execution of the same trace."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.sequential_cycles / self.makespan_cycles
+
+    @property
+    def makespan_us(self) -> float:
+        """Makespan in microseconds at the default clock."""
+        return cycles_to_us(self.makespan_cycles)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.trace_name}: {self.num_tasks} tasks on {self.num_cores} cores -> "
+                f"speedup {self.speedup:.1f}x, decode {self.decode_rate_cycles:.0f} "
+                f"cycles/task ({self.decode_rate_ns:.0f} ns), "
+                f"window peak {self.window_peak_tasks} tasks")
+
+
+class TaskSuperscalarSystem:
+    """A full simulated machine driven by the task-superscalar frontend."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None):
+        self.config = config if config is not None else default_table2_config()
+        self.config.validate()
+        self.engine = Engine()
+        self.stats = StatsCollector()
+        self.frontend = TaskSuperscalarFrontend(self.engine, self.config.frontend,
+                                                self.stats)
+        self.cores = [WorkerCore(self.engine, i, self.stats)
+                      for i in range(self.config.cmp.num_cores)]
+        self.scheduler = TaskScheduler(self.engine, self.config.backend, self.cores,
+                                       self.frontend.ready_queue, self.frontend,
+                                       self.stats)
+        self.scheduler.on_task_complete = self._on_task_complete
+        self.memory_hierarchy = None
+        if self.config.backend.model_data_transfers:
+            # Optional extension: charge each task the cost of moving its
+            # operands to the executing core through the Table II memory
+            # hierarchy (import here to keep the default path lightweight).
+            from repro.memsys.hierarchy import MemoryHierarchy
+
+            self.memory_hierarchy = MemoryHierarchy(self.config.cmp,
+                                                    self.config.interconnect,
+                                                    self.config.memory)
+            self.scheduler.runtime_extension = self._transfer_cycles
+        self._window_peak = 0
+
+    def _transfer_cycles(self, record, core_index: int) -> int:
+        estimate = self.memory_hierarchy.estimate_task_transfer(record, core_index)
+        return estimate.transfer_cycles
+
+    # -- Hooks -----------------------------------------------------------------------
+
+    def _on_task_complete(self, task, record) -> None:
+        self.frontend.sample_occupancy()
+        self._window_peak = max(self._window_peak, self.frontend.window_occupancy())
+
+    # -- Execution --------------------------------------------------------------------
+
+    def run(self, trace: TaskTrace, validate: bool = False,
+            max_events: Optional[int] = None) -> SimulationResult:
+        """Simulate ``trace`` to completion and return the measurements.
+
+        Args:
+            trace: The task trace to execute.
+            validate: If True, check the produced schedule against the gold
+                dependency graph (every consumer started after its true
+                producers finished).  Adds O(edges) work after the simulation.
+            max_events: Optional event-count guard against deadlocks in
+                experimental configurations.
+
+        Raises:
+            SchedulingError: if the simulation drains without completing every
+                task (a deadlock, which indicates a configuration that cannot
+                make progress or a model bug), or if validation fails.
+        """
+        if max_events is not None:
+            self.engine.max_events = max_events
+        generator = TaskGeneratingThread(self.engine, trace, self.frontend,
+                                         self.config.generator, self.stats)
+        generator.start()
+        self.engine.run()
+
+        if self.scheduler.tasks_completed != len(trace):
+            raise SchedulingError(
+                f"simulation deadlocked: completed {self.scheduler.tasks_completed} of "
+                f"{len(trace)} tasks (decoded {self.frontend.tasks_decoded}, "
+                f"window {self.frontend.window_occupancy()}, "
+                f"ready queue {len(self.frontend.ready_queue)})"
+            )
+
+        if validate:
+            graph = build_dependency_graph(trace)
+            table = self.scheduler.schedule_table()
+            starts = {seq: start for seq, (start, finish) in table.items()}
+            finishes = {seq: finish for seq, (start, finish) in table.items()}
+            graph.validate_schedule(starts, finishes, renamed=True)
+
+        makespan = self.scheduler.last_completion_time
+        occupancy_acc = self.stats.accumulators.get("frontend.window_occupancy")
+        window_mean = occupancy_acc.mean if occupancy_acc and occupancy_acc.count else 0.0
+        busy = sum(core.busy_cycles for core in self.cores)
+        utilization = 0.0
+        if makespan > 0:
+            utilization = busy / (makespan * len(self.cores))
+        return SimulationResult(
+            trace_name=trace.name,
+            num_tasks=len(trace),
+            num_cores=len(self.cores),
+            makespan_cycles=makespan,
+            sequential_cycles=trace.total_runtime_cycles,
+            decode_rate_cycles=self.frontend.decode_rate_cycles(),
+            decode_rate_ns=self.frontend.decode_rate_ns(self.config.cmp.clock_ghz),
+            tasks_decoded=self.frontend.tasks_decoded,
+            tasks_completed=self.scheduler.tasks_completed,
+            window_peak_tasks=self._window_peak,
+            window_mean_tasks=window_mean,
+            ready_queue_peak=self.frontend.ready_queue.peak_depth,
+            generator_stall_cycles=generator.stall_cycles,
+            core_utilization=utilization,
+            stats=self.stats.summary(),
+        )
+
+
+def run_trace(trace: TaskTrace, config: Optional[SimulationConfig] = None,
+              num_cores: Optional[int] = None, validate: bool = False,
+              **frontend_overrides) -> SimulationResult:
+    """Convenience wrapper: build a system and run one trace through it.
+
+    Args:
+        trace: The task trace to execute.
+        config: Base configuration (Table II defaults when omitted).
+        num_cores: Override the backend core count.
+        validate: Check the schedule against the gold dependency graph.
+        **frontend_overrides: Field overrides for the frontend configuration
+            (e.g. ``num_trs=4, num_ort=1, num_ovt=1``).
+    """
+    config = config if config is not None else default_table2_config()
+    if num_cores is not None:
+        config = config.with_cores(num_cores)
+    if frontend_overrides:
+        config = config.with_frontend(**frontend_overrides)
+    system = TaskSuperscalarSystem(config)
+    return system.run(trace, validate=validate)

@@ -1,0 +1,124 @@
+"""Command-line interface for the task-superscalar reproduction.
+
+``python -m repro`` exposes the most common operations without writing any
+Python:
+
+* ``python -m repro list`` -- show the benchmark catalogue (Table I).
+* ``python -m repro simulate --workload Cholesky --cores 256`` -- run one
+  benchmark through the task-superscalar pipeline (add ``--software`` for the
+  StarSs software-runtime baseline, ``--compare`` for both).
+* ``python -m repro trace --workload MatMul --output matmul.jsonl`` -- write a
+  task trace to disk for external tools.
+* ``python -m repro experiment table1|table2|fig1|fig3`` -- regenerate the
+  cheap paper artefacts (the expensive figure sweeps live in ``benchmarks/``
+  and ``repro.experiments.runner``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.backend.system import run_trace
+from repro.software.runtime_sim import run_trace_software
+from repro.trace.io import write_trace
+from repro.workloads import registry
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'Name':10s} {'Class':20s} {'Description':40s} "
+          f"{'Avg data':>9s} {'Avg runtime':>12s}")
+    for name in registry.all_workload_names():
+        spec = registry.get_spec(name)
+        print(f"{spec.name:10s} {spec.domain:20s} {spec.description:40s} "
+              f"{spec.avg_data_kb:>7.0f}KB {spec.avg_runtime_us:>10.0f}us")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = registry.generate(args.workload, scale=args.scale, seed=args.seed)
+    print(f"{trace.name}: {len(trace)} tasks "
+          f"(sequential time {trace.total_runtime_cycles} cycles)")
+    run_hardware = not args.software or args.compare
+    run_software = args.software or args.compare
+    if run_hardware:
+        result = run_trace(trace, num_cores=args.cores, validate=args.validate)
+        print("task superscalar : " + result.summary())
+    if run_software:
+        result = run_trace_software(trace, num_cores=args.cores, validate=args.validate)
+        print("software runtime : " + result.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = registry.generate(args.workload, scale=args.scale, seed=args.seed)
+    write_trace(trace, args.output)
+    print(f"wrote {len(trace)} tasks to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import figure1, figure3, table1, table2
+
+    if args.name == "table1":
+        print(table1.format_table(table1.run()))
+    elif args.name == "table2":
+        print(table2.format_table(table2.run()))
+    elif args.name == "fig1":
+        print(figure1.format_report(figure1.run()))
+    elif args.name == "fig3":
+        print(figure3.format_table(figure3.run()))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(args.name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="Task Superscalar reproduction CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="show the Table I benchmark catalogue")
+    list_parser.set_defaults(func=_cmd_list)
+
+    simulate = subparsers.add_parser("simulate", help="simulate one benchmark")
+    simulate.add_argument("--workload", required=True,
+                          choices=registry.all_workload_names())
+    simulate.add_argument("--cores", type=int, default=256)
+    simulate.add_argument("--scale", type=int, default=None,
+                          help="problem size (workload-specific; default built in)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--software", action="store_true",
+                          help="simulate the StarSs software runtime instead")
+    simulate.add_argument("--compare", action="store_true",
+                          help="simulate both systems")
+    simulate.add_argument("--validate", action="store_true",
+                          help="check the schedule against the gold dependency graph")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    trace = subparsers.add_parser("trace", help="write a workload trace to disk")
+    trace.add_argument("--workload", required=True, choices=registry.all_workload_names())
+    trace.add_argument("--scale", type=int, default=None)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", required=True)
+    trace.set_defaults(func=_cmd_trace)
+
+    experiment = subparsers.add_parser("experiment",
+                                       help="regenerate a (cheap) paper artefact")
+    experiment.add_argument("name", choices=("table1", "table2", "fig1", "fig3"))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

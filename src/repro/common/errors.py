@@ -1,0 +1,56 @@
+"""Exception hierarchy for the task-superscalar reproduction.
+
+All library-specific exceptions derive from :class:`ReproError`, so callers
+can catch one base class when they want to distinguish library failures from
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied.
+
+    Raised, for example, when a frontend configuration requests zero TRSs or a
+    TRS block size that cannot hold a task's main block.
+    """
+
+
+class CapacityError(ReproError):
+    """A hardware structure ran out of capacity in a way the model forbids.
+
+    The real hardware never raises this condition: it back-pressures (stalls
+    the gateway or the task-generating thread).  The simulator raises
+    :class:`CapacityError` only when a configuration makes forward progress
+    impossible -- e.g. a single task with more operands than a TRS can ever
+    hold, or an ORT set too small to hold one entry.
+    """
+
+
+class AllocationError(ReproError):
+    """An allocator was asked for something it can never satisfy."""
+
+
+class ProtocolError(ReproError):
+    """An internal protocol invariant was violated.
+
+    These indicate a bug in the pipeline model itself (e.g. a data-ready
+    message for an operand that was already ready), and are used liberally as
+    internal assertions so that tests catch modelling mistakes early.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given invalid parameters."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record is malformed."""
+
+
+class SchedulingError(ReproError):
+    """The backend scheduler reached an inconsistent state."""

@@ -1,0 +1,39 @@
+"""Address hashing helpers.
+
+The frontend distributes memory operands across ORTs, and indexes ORT sets,
+by hashing the operand's base address.  The paper notes that selecting on raw
+address bits creates load imbalance because object sizes (and therefore
+allocation alignments) vary; a mixing hash spreads block-aligned addresses
+evenly.
+
+:func:`mix64` is a splitmix64-style finaliser: deterministic, cheap and with
+good avalanche behaviour even for inputs whose low bits are all zero (the
+common case for large aligned blocks).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """Return a well-mixed 64-bit hash of ``value`` (deterministic)."""
+    x = value & _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    x = x ^ (x >> 31)
+    return x
+
+
+def bucket_for(value: int, num_buckets: int, salt: int = 0) -> int:
+    """Map ``value`` onto one of ``num_buckets`` buckets using :func:`mix64`.
+
+    Args:
+        value: The value (typically a base address) to hash.
+        num_buckets: Number of buckets; must be positive.
+        salt: Optional salt so different structures (ORT selection vs. set
+            indexing) use decorrelated hash functions.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    return mix64(value ^ (salt * 0x9E3779B97F4A7C15)) % num_buckets

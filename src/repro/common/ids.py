@@ -1,0 +1,54 @@
+"""Identifier tuples used by the task-superscalar protocol.
+
+The paper identifies every in-flight task by a tuple ``<TRS, SLOT>`` -- the
+index of the task reservation station holding its meta-data and the slot
+(main-block address) inside that TRS.  Operands are identified by extending
+the task ID with the operand index: ``<TRS, SLOT, INDEX>``.  Section IV.A
+walks through an example where the first operand of the task stored in slot 17
+of TRS 1 is ``<1, 17, 0>``.
+
+These IDs are deliberately *structural*: they encode the physical location of
+the datum, so modules never need associative lookups to find the task a
+message refers to (a property the paper calls out for the TRS design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class TaskID:
+    """Identifier of an in-flight task: ``<TRS index, slot number>``.
+
+    Attributes:
+        trs: Index of the task reservation station storing the task.
+        slot: Address of the task's main block inside that TRS.
+    """
+
+    trs: int
+    slot: int
+
+    def operand(self, index: int) -> "OperandID":
+        """Return the :class:`OperandID` for operand ``index`` of this task."""
+        return OperandID(self.trs, self.slot, index)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.trs},{self.slot}>"
+
+
+@dataclass(frozen=True, order=True)
+class OperandID:
+    """Identifier of a task operand: ``<TRS index, slot number, operand index>``."""
+
+    trs: int
+    slot: int
+    index: int
+
+    @property
+    def task(self) -> TaskID:
+        """The :class:`TaskID` of the task this operand belongs to."""
+        return TaskID(self.trs, self.slot)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.trs},{self.slot},{self.index}>"

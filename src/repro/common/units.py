@@ -1,0 +1,84 @@
+"""Time and size units used throughout the reproduction.
+
+The paper's simulated platform runs at 3.2 GHz (Table II), so one cycle is
+0.3125 ns.  All simulator-internal times are integer cycles; the analysis and
+experiment layers convert to nanoseconds / microseconds when they compare
+against the figures of the paper (which quote decode rates both in cycles per
+task and in nanoseconds per task).
+
+Sizes follow the paper's convention of binary kilobytes/megabytes (the 64 KB
+L1, 128 B TRS blocks, 512 KB ORT capacity, 6 MB TRS capacity and so on).
+"""
+
+from __future__ import annotations
+
+#: Simulated core clock frequency in GHz (Table II: 3.2 GHz).
+CLOCK_GHZ: float = 3.2
+
+#: Nanoseconds per cycle at the default clock.
+NS_PER_CYCLE: float = 1.0 / CLOCK_GHZ
+
+#: One binary kilobyte, in bytes.
+KB: int = 1024
+
+#: One binary megabyte, in bytes.
+MB: int = 1024 * 1024
+
+#: Type alias used for readability: simulator timestamps are integer cycles.
+Cycles = int
+
+
+def ns_to_cycles(nanoseconds: float, clock_ghz: float = CLOCK_GHZ) -> int:
+    """Convert a duration in nanoseconds to an integer number of cycles.
+
+    The result is rounded to the nearest cycle and never below zero for a
+    non-negative input.
+
+    >>> ns_to_cycles(58)          # the paper's 256-core decode-rate target
+    186
+    """
+    if nanoseconds < 0:
+        raise ValueError(f"duration must be non-negative, got {nanoseconds}")
+    return int(round(nanoseconds * clock_ghz))
+
+
+def us_to_cycles(microseconds: float, clock_ghz: float = CLOCK_GHZ) -> int:
+    """Convert a duration in microseconds to an integer number of cycles.
+
+    >>> us_to_cycles(23)          # a MatMul task (Table I) at 3.2 GHz
+    73600
+    """
+    return ns_to_cycles(microseconds * 1000.0, clock_ghz)
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float = CLOCK_GHZ) -> float:
+    """Convert a cycle count to nanoseconds."""
+    if cycles < 0:
+        raise ValueError(f"cycle count must be non-negative, got {cycles}")
+    return cycles / clock_ghz
+
+
+def cycles_to_us(cycles: float, clock_ghz: float = CLOCK_GHZ) -> float:
+    """Convert a cycle count to microseconds."""
+    return cycles_to_ns(cycles, clock_ghz) / 1000.0
+
+
+def human_bytes(num_bytes: int) -> str:
+    """Render a byte count the way the paper's axes do (``512 KB``, ``6 MB``).
+
+    >>> human_bytes(512 * KB)
+    '512 KB'
+    >>> human_bytes(6 * MB)
+    '6 MB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes >= MB and num_bytes % MB == 0:
+        return f"{num_bytes // MB} MB"
+    if num_bytes >= KB and num_bytes % KB == 0:
+        return f"{num_bytes // KB} KB"
+    if num_bytes >= MB:
+        return f"{num_bytes / MB:.1f} MB"
+    if num_bytes >= KB:
+        return f"{num_bytes / KB:.1f} KB"
+    return f"{num_bytes} B"

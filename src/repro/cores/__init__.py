@@ -1,0 +1,13 @@
+"""Worker cores and the task-generating thread.
+
+In a task-superscalar multiprocessor the backend cores act as functional
+units: they receive ready tasks from the scheduler, execute them for the
+task's (trace-supplied) runtime and report completion.  The task-generating
+thread is the sequential program of Figure 2 that feeds tasks to the pipeline
+gateway, stalling only when the gateway buffer fills.
+"""
+
+from repro.cores.core import WorkerCore
+from repro.cores.generator import TaskGeneratingThread
+
+__all__ = ["WorkerCore", "TaskGeneratingThread"]

@@ -1,0 +1,20 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+| Module | Paper artefact |
+|---|---|
+| :mod:`repro.experiments.table1` | Table I -- benchmark catalogue |
+| :mod:`repro.experiments.table2` | Table II -- simulated system parameters |
+| :mod:`repro.experiments.figure1` | Figure 1 -- 5x5 Cholesky task graph |
+| :mod:`repro.experiments.figure3` | Figure 3 -- decode-rate law |
+| :mod:`repro.experiments.decode_rate` | Figures 12 & 13 -- decode rate vs. #TRS/#ORT |
+| :mod:`repro.experiments.capacity` | Figures 14 & 15 -- speedup vs. ORT/TRS capacity |
+| :mod:`repro.experiments.scaling` | Figure 16 -- speedup vs. core count, hardware vs. software runtime |
+| :mod:`repro.experiments.runner` | run-everything driver producing a text report |
+
+Every driver accepts a ``scale`` / ``workload-scales`` knob so the same code
+runs quickly in the benchmark suite and at larger sizes for the full report.
+"""
+
+from repro.experiments.common import EXPERIMENT_SCALES, experiment_trace, fast_generator_config
+
+__all__ = ["EXPERIMENT_SCALES", "experiment_trace", "fast_generator_config"]

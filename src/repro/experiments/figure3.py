@@ -1,0 +1,75 @@
+"""Figure 3 reproduction: the decode-rate law.
+
+Figure 3 illustrates that, to keep ``P`` processors fed with tasks of runtime
+``T``, the pipeline must decode one task every ``R = T / P``.  The driver
+tabulates the law for the paper's reference points -- the 15 us average
+shortest task of the benchmark set against 32-256 processors -- and checks
+the two headline numbers of Section II: a 58 ns/task target for a 256-way
+CMP, versus the ~700 ns/task software decoder that can sustain only a few
+tens of processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.metrics import (
+    decode_rate_limit_ns,
+    ideal_utilization,
+    max_processors_for_decode_rate,
+)
+
+#: Average runtime of the shortest tasks across the benchmark set (Section II).
+SHORTEST_TASK_US = 15.0
+#: Measured decode time of the tuned StarSs software runtime (Section II).
+SOFTWARE_DECODE_NS = 700.0
+
+
+@dataclass
+class DecodeLawPoint:
+    """One row of the Figure 3 reproduction."""
+
+    num_processors: int
+    decode_limit_ns: float
+    software_utilization: float
+
+
+def run(task_runtime_us: float = SHORTEST_TASK_US,
+        processor_counts: List[int] = (32, 64, 128, 256)) -> List[DecodeLawPoint]:
+    """Tabulate the decode-rate law for the given machine widths."""
+    points = []
+    for processors in processor_counts:
+        limit = decode_rate_limit_ns(task_runtime_us, processors)
+        utilization = ideal_utilization(task_runtime_us, SOFTWARE_DECODE_NS, processors)
+        points.append(DecodeLawPoint(num_processors=processors,
+                                     decode_limit_ns=limit,
+                                     software_utilization=utilization))
+    return points
+
+
+def software_processor_limit(task_runtime_us: float = SHORTEST_TASK_US,
+                             decode_ns: float = SOFTWARE_DECODE_NS) -> int:
+    """Largest machine the software decoder can keep busy (about 21 cores)."""
+    return max_processors_for_decode_rate(task_runtime_us, decode_ns)
+
+
+def format_table(points: List[DecodeLawPoint]) -> str:
+    """Render the law as a text table."""
+    lines = [f"{'P':>5s} {'R = T/P (ns/task)':>20s} {'software utilisation':>22s}"]
+    for point in points:
+        lines.append(f"{point.num_processors:>5d} {point.decode_limit_ns:>20.1f} "
+                     f"{point.software_utilization:>21.0%}")
+    lines.append(f"software decoder ({SOFTWARE_DECODE_NS:.0f} ns/task) saturates at "
+                 f"~{software_processor_limit()} processors")
+    return "\n".join(lines)
+
+
+def main() -> str:  # pragma: no cover - convenience entry point
+    report = format_table(run())
+    print(report)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,48 @@
+"""Table I reproduction: the benchmark catalogue.
+
+For every application the driver generates a trace and reports the measured
+average data size, minimum / median / average task runtime and the 256-core
+decode-rate limit alongside the values published in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads import registry
+
+
+def run(scale_overrides: Optional[Dict[str, int]] = None, seed: int = 0) -> List[Dict[str, object]]:
+    """Generate the Table I rows (published vs. measured)."""
+    return registry.table1_rows(scale_overrides=scale_overrides, seed=seed)
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render the rows as a fixed-width text table (paper vs. measured)."""
+    header = (f"{'Name':10s} {'Class':20s} {'Tasks':>6s} "
+              f"{'Data KB':>16s} {'Min us':>14s} {'Med us':>14s} {'Avg us':>14s} "
+              f"{'Limit ns':>16s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        spec = row["spec"]
+        measured = row["measured"]
+        lines.append(
+            f"{row['name']:10s} {row['class']:20s} {row['tasks']:>6d} "
+            f"{measured['avg_data_kb']:7.1f}/{spec.avg_data_kb:<8.0f} "
+            f"{measured['min_runtime_us']:6.1f}/{spec.min_runtime_us:<7.0f} "
+            f"{measured['med_runtime_us']:6.1f}/{spec.med_runtime_us:<7.0f} "
+            f"{measured['avg_runtime_us']:6.1f}/{spec.avg_runtime_us:<7.0f} "
+            f"{measured['decode_limit_ns']:7.1f}/{spec.decode_limit_ns:<8.0f}"
+        )
+    lines.append("(each cell is measured/published)")
+    return "\n".join(lines)
+
+
+def main() -> str:  # pragma: no cover - convenience entry point
+    report = format_table(run())
+    print(report)
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,276 @@
+"""The pipeline gateway (Section IV.B.1).
+
+The gateway is the frontend's entry point.  It:
+
+* buffers incoming tasks from the task-generating thread in a small (1 KB,
+  ~20 task) buffer and back-pressures the thread when the buffer fills;
+* sends allocation requests to TRSs, keeping a queue of TRSs believed to have
+  free space and picking the first (the protocol is non-blocking, so requests
+  for newly arrived tasks are issued while earlier replies are outstanding);
+* once a TRS slot is granted, distributes the task's memory operands to the
+  ORTs (selected by a hash of the operand's base address, to avoid load
+  imbalance) and its scalar operands directly to the allocated TRS;
+* stalls whenever an ORT or OVT runs out of space, and resumes when the
+  blocking module releases an entry.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from repro.common.config import FrontendConfig
+from repro.common.errors import CapacityError, ProtocolError
+from repro.common.hashing import bucket_for
+from repro.common.ids import TaskID
+from repro.frontend.messages import (
+    AllocReply,
+    AllocRequest,
+    OperandDecodeRequest,
+    ScalarOperand,
+    TrsSpaceAvailable,
+)
+from repro.sim.engine import Engine
+from repro.sim.module import PacketProcessor
+from repro.sim.stats import StatsCollector
+from repro.trace.records import TaskRecord
+
+
+class _PendingTask:
+    """A task sitting in the gateway's internal buffer."""
+
+    __slots__ = ("record", "buffer_slot", "attempted_trs")
+
+    def __init__(self, record: TaskRecord, buffer_slot: int):
+        self.record = record
+        self.buffer_slot = buffer_slot
+        self.attempted_trs: Set[int] = set()
+
+
+class PipelineGateway(PacketProcessor):
+    """Timed model of the pipeline gateway."""
+
+    def __init__(self, engine: Engine, config: FrontendConfig,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, "gateway", stats)
+        self.config = config
+        #: Set by the pipeline assembly.
+        self.trs_list: List = []
+        self.orts: List = []
+        self._buffer: Dict[int, _PendingTask] = {}
+        self._next_buffer_slot = 0
+        self._free_trs: Deque[int] = deque()
+        #: Buffer slots waiting for TRS space, kept sorted in creation order.
+        self._waiting_for_space: List[int] = []
+        self._space_listeners: List[Callable[[], None]] = []
+        self._stall_sources: Set[str] = set()
+        self._tasks_admitted = 0
+        self._tasks_issued = 0
+
+    # -- Assembly -----------------------------------------------------------------
+
+    def attach(self, trs_list: List, orts: List) -> None:
+        """Wire the gateway to its TRSs and ORTs (called by the pipeline)."""
+        self.trs_list = trs_list
+        self.orts = orts
+        self._free_trs = deque(range(len(trs_list)))
+
+    # -- Task-generating-thread interface ----------------------------------------
+
+    @property
+    def buffer_occupancy(self) -> int:
+        """Number of tasks currently held in the gateway buffer."""
+        return len(self._buffer)
+
+    def can_accept(self) -> bool:
+        """True if the gateway buffer has room for another task."""
+        return len(self._buffer) < self.config.gateway_buffer_tasks
+
+    def try_submit(self, record: TaskRecord) -> bool:
+        """Submit a task from the task-generating thread.
+
+        Returns False (and changes nothing) when the buffer is full; the
+        caller should register a space listener via :meth:`notify_when_space`.
+        """
+        if not self.can_accept():
+            self.stats.count("gateway.submit_rejected")
+            return False
+        slot = self._next_buffer_slot
+        self._next_buffer_slot += 1
+        pending = _PendingTask(record, slot)
+        self._buffer[slot] = pending
+        self._tasks_admitted += 1
+        self.stats.count("gateway.tasks_admitted")
+        self.receive(("arrival", slot))
+        return True
+
+    def notify_when_space(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once, the next time buffer space frees up."""
+        self._space_listeners.append(callback)
+
+    # -- Stall control (used by ORTs/OVTs) ----------------------------------------
+
+    def add_stall(self, source: str) -> None:
+        """Stall the gateway on behalf of ``source`` (an ORT/OVT identifier)."""
+        if not self._stall_sources:
+            self.stall()
+        self._stall_sources.add(source)
+
+    def remove_stall(self, source: str) -> None:
+        """Remove ``source``'s stall; resume when no stall sources remain."""
+        self._stall_sources.discard(source)
+        if not self._stall_sources:
+            self.unstall()
+
+    # -- PacketProcessor interface --------------------------------------------------
+
+    def service_time(self, packet) -> int:
+        kind = packet[0] if isinstance(packet, tuple) else type(packet).__name__
+        if kind == "arrival":
+            # Admitting a task and firing the allocation request.
+            return self.config.module_processing_cycles
+        if isinstance(packet, AllocReply):
+            if packet.task is None:
+                return self.config.module_processing_cycles
+            pending = self._buffer.get(packet.buffer_slot)
+            operands = pending.record.num_operands if pending else 1
+            # Issuing every operand is charged separately (Section V: the
+            # processing overhead is multiplied by the operand count).
+            return self.config.module_processing_cycles * max(1, operands)
+        if isinstance(packet, TrsSpaceAvailable):
+            return self.config.module_processing_cycles
+        raise ProtocolError(f"gateway received unexpected packet {packet!r}")
+
+    def handle(self, packet) -> None:
+        if isinstance(packet, tuple) and packet[0] == "arrival":
+            self._handle_arrival(packet[1])
+        elif isinstance(packet, AllocReply):
+            self._handle_alloc_reply(packet)
+        elif isinstance(packet, TrsSpaceAvailable):
+            self._handle_space_available(packet)
+        else:  # pragma: no cover - guarded by service_time
+            raise ProtocolError(f"gateway cannot handle packet {packet!r}")
+
+    # -- Flows -------------------------------------------------------------------
+
+    def _handle_arrival(self, buffer_slot: int) -> None:
+        if self._waiting_for_space:
+            # Older tasks are already queued for TRS space; keep allocation in
+            # creation order rather than letting a newcomer race past them.
+            bisect.insort(self._waiting_for_space, buffer_slot)
+            self.stats.count("gateway.window_full_waits")
+            return
+        self._request_allocation(buffer_slot)
+
+    def _request_allocation(self, buffer_slot: int) -> None:
+        pending = self._buffer.get(buffer_slot)
+        if pending is None:
+            raise ProtocolError(f"no pending task in gateway buffer slot {buffer_slot}")
+        target = self._pick_trs(pending)
+        if target is None:
+            # Every TRS is believed to be full: the window is full.  Queue the
+            # task for a TrsSpaceAvailable retry, keeping the queue in task
+            # creation order (buffer slots are assigned monotonically) so
+            # older tasks are always admitted to the window first.
+            bisect.insort(self._waiting_for_space, buffer_slot)
+            self.stats.count("gateway.window_full_waits")
+            return
+        request = AllocRequest(num_operands=pending.record.num_operands,
+                               buffer_slot=buffer_slot)
+        pending.attempted_trs.add(target)
+        self.send(self.trs_list[target], request,
+                  latency=self.config.message_latency_cycles)
+
+    def _pick_trs(self, pending: _PendingTask) -> Optional[int]:
+        """First TRS in the free queue the task has not bounced off yet."""
+        for _ in range(len(self._free_trs)):
+            candidate = self._free_trs[0]
+            self._free_trs.rotate(-1)
+            if candidate not in pending.attempted_trs:
+                return candidate
+        return None
+
+    def _handle_alloc_reply(self, reply: AllocReply) -> None:
+        pending = self._buffer.get(reply.buffer_slot)
+        if pending is None:
+            raise ProtocolError(
+                f"allocation reply for unknown gateway buffer slot {reply.buffer_slot}"
+            )
+        if reply.task is None:
+            # The TRS was full after all: drop it from the free queue and retry.
+            if reply.trs_index in self._free_trs:
+                self._free_trs.remove(reply.trs_index)
+            self.stats.count("gateway.alloc_retries")
+            self._request_allocation(reply.buffer_slot)
+            return
+        self._issue_operands(pending, reply.task)
+        del self._buffer[reply.buffer_slot]
+        self._tasks_issued += 1
+        self.stats.count("gateway.tasks_issued")
+        self._notify_space()
+        # Allocation succeeded, so there is known free space: hand the next
+        # waiting task its turn (retries are serialised -- see
+        # _handle_space_available -- so the TRSs are not flooded with
+        # allocation requests that would mostly bounce).
+        self._retry_one_waiting()
+
+    def _issue_operands(self, pending: _PendingTask, task: TaskID) -> None:
+        record = pending.record
+        latency = self.config.message_latency_cycles
+        trs = self.trs_list[task.trs]
+        # Hand the trace record to the TRS (the hardware ships the packed task
+        # buffer; the model shares the record object instead).
+        trs.bind_record(task, record)
+        for index, operand in enumerate(record.operands):
+            operand_id = task.operand(index)
+            if operand.is_scalar:
+                self.send(trs, ScalarOperand(operand=operand_id), latency=latency)
+                continue
+            ort = self.orts[self.ort_index_for(operand.address)]
+            self.send(ort, OperandDecodeRequest(operand=operand_id,
+                                                direction=operand.direction,
+                                                address=operand.address,
+                                                size=operand.size),
+                      latency=latency)
+
+    def ort_index_for(self, address: int) -> int:
+        """ORT selection: a mixing hash of the operand's base address.
+
+        Selecting directly on address bits would create load imbalance because
+        object sizes (and alignments) vary; hashing -- pipelined in the
+        hardware and therefore free of extra latency -- spreads objects across
+        ORTs (Section IV.B.1).
+        """
+        if not self.orts:
+            raise CapacityError("gateway has no ORTs attached")
+        return bucket_for(address, len(self.orts), salt=0)
+
+    def _handle_space_available(self, packet: TrsSpaceAvailable) -> None:
+        if packet.trs_index not in self._free_trs:
+            self._free_trs.append(packet.trs_index)
+        # Retry a single waiting task.  Retries are deliberately serialised:
+        # waking every queued task at once would flood the (still nearly full)
+        # TRSs with allocation requests that mostly bounce, wasting their
+        # controllers on rejections.  Each successful allocation wakes the
+        # next waiter (_handle_alloc_reply).
+        self._retry_one_waiting()
+
+    def _retry_one_waiting(self) -> None:
+        while self._waiting_for_space:
+            buffer_slot = self._waiting_for_space.pop(0)
+            pending = self._buffer.get(buffer_slot)
+            if pending is None:
+                continue
+            # Clear the "already tried" marks: a previously full TRS may now
+            # have space.
+            pending.attempted_trs.clear()
+            self._request_allocation(buffer_slot)
+            return
+
+    def _notify_space(self) -> None:
+        if not self.can_accept():
+            return
+        listeners, self._space_listeners = self._space_listeners, []
+        for callback in listeners:
+            callback()

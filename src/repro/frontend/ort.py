@@ -1,0 +1,222 @@
+"""Object renaming tables (Section IV.B.3).
+
+An ORT maps memory operands to the most recent task operand accessing the
+same memory object -- the task-level analogue of the register renaming table.
+Storing *any* user (producer or consumer) rather than only real producers is
+what enables TRS consumer chaining.
+
+Key behaviours reproduced from the paper:
+
+* Maps are organised as a 16-way set-associative cache over the object base
+  address; tags are read from eDRAM (two sequential 64 B blocks) and matched
+  against the full address.
+* The ORT **never evicts**: when an insertion targets a full set, the ORT
+  stalls the gateway until an entry is released (entries are released by the
+  paired OVT when the newest version of the object dies).
+* Read-only operands that hit (RaR/RaW) forward the previous user's operand
+  ID to the designated TRS; writer operands (output/inout) create a new
+  version in the paired OVT; misses create a new version as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import FrontendConfig
+from repro.common.errors import ProtocolError
+from repro.frontend.messages import (
+    EntryRelease,
+    OperandDecodeRequest,
+    OperandInfo,
+    VersionKind,
+    VersionRequest,
+    VersionUse,
+)
+from repro.frontend.storage import RenamingEntry, RenamingTable
+from repro.sim.engine import Engine
+from repro.sim.module import PacketProcessor
+from repro.sim.stats import StatsCollector
+from repro.trace.records import Direction
+
+
+class ObjectRenamingTable(PacketProcessor):
+    """Timed model of one ORT tile."""
+
+    def __init__(self, engine: Engine, index: int, config: FrontendConfig,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, f"ort{index}", stats)
+        self.index = index
+        self.config = config
+        self.table = RenamingTable(num_sets=config.ort_sets_per_module,
+                                   assoc=config.ort_assoc)
+        #: Wired by the pipeline assembly.
+        self.ovt = None
+        self.trs_list: List = []
+        self.gateway = None
+        self._next_version = 0
+        self._stalling = False
+
+    # -- Assembly -----------------------------------------------------------------
+
+    def attach(self, ovt, trs_list: List, gateway) -> None:
+        """Wire the ORT to its paired OVT, the TRSs and the gateway."""
+        self.ovt = ovt
+        self.trs_list = trs_list
+        self.gateway = gateway
+
+    # -- Capacity back-pressure ---------------------------------------------------------
+
+    def update_pressure(self) -> None:
+        """Stall or resume the gateway based on table occupancy.
+
+        The hardware stalls the gateway whenever an allocation targets a full
+        set, and resumes once the paired OVT releases an entry.  The model
+        expresses the same behaviour as a level-triggered condition: while the
+        renaming table is pressured (a set at/over its associativity, or the
+        table at its nominal capacity) no new tasks are admitted; operands
+        already inside the pipeline keep decoding so forward progress is
+        always possible (see :class:`repro.frontend.storage.RenamingTable`).
+        """
+        if self.gateway is None:
+            return
+        pressured = self.table.is_pressured()
+        if pressured and not self._stalling:
+            self._stalling = True
+            self.stats.count(f"{self.name}.gateway_stalls")
+            self.gateway.add_stall(self.name)
+        elif not pressured and self._stalling:
+            self._stalling = False
+            self.gateway.remove_stall(self.name)
+
+    # -- PacketProcessor interface ----------------------------------------------------
+
+    def service_time(self, packet) -> int:
+        if isinstance(packet, OperandDecodeRequest):
+            # Tag blocks are read sequentially from eDRAM (two 64 B blocks)
+            # before the entry itself is accessed.
+            return self.config.module_processing_cycles + 2 * self.config.edram_latency_cycles
+        if isinstance(packet, EntryRelease):
+            return self.config.module_processing_cycles + self.config.edram_latency_cycles
+        raise ProtocolError(f"{self.name} received unexpected packet {packet!r}")
+
+    def handle(self, packet) -> None:
+        if isinstance(packet, OperandDecodeRequest):
+            self._decode_operand(packet)
+        elif isinstance(packet, EntryRelease):
+            self._release_entry(packet)
+        else:  # pragma: no cover - guarded by service_time
+            raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+        self.update_pressure()
+
+    # -- Decode flows (Figures 7, 8, 9) ------------------------------------------------
+
+    def _decode_operand(self, request: OperandDecodeRequest) -> None:
+        direction = request.direction
+        if direction is Direction.INPUT:
+            self._decode_input(request)
+        elif direction is Direction.OUTPUT:
+            self._decode_output(request)
+        elif direction is Direction.INOUT:
+            self._decode_inout(request)
+        else:  # pragma: no cover - Direction is a closed enum
+            raise ProtocolError(f"unknown operand direction {direction!r}")
+
+    def _decode_input(self, request: OperandDecodeRequest) -> None:
+        """Figure 8: match the reader with the most recent user of the object."""
+        entry = self.table.lookup(request.address)
+        latency = self.config.message_latency_cycles
+        if entry is not None:
+            previous_user = entry.last_user
+            self.send(self.ovt, VersionUse(operand=request.operand,
+                                           address=request.address,
+                                           version=entry.version), latency=latency)
+            self._send_operand_info(request, previous_user=previous_user, expected_ready=1)
+            entry.last_user = request.operand
+            entry.last_user_is_writer = False
+            self.stats.count(f"{self.name}.reader_hits")
+        else:
+            # Miss: the data is already in memory.  A new version is created to
+            # track the object's in-flight readers (the paper creates a version
+            # on every miss), and the operand is immediately data-ready.
+            version_id = self._allocate_version_id()
+            self.send(self.ovt, VersionRequest(operand=request.operand,
+                                               address=request.address,
+                                               size=request.size,
+                                               kind=VersionKind.READER_MISS,
+                                               version_id=version_id,
+                                               previous_version=None), latency=latency)
+            self.table.insert(RenamingEntry(address=request.address, size=request.size,
+                                            last_user=request.operand,
+                                            version=version_id,
+                                            last_user_is_writer=False))
+            self._send_operand_info(request, previous_user=None, expected_ready=1)
+            self.stats.count(f"{self.name}.reader_misses")
+
+    def _decode_output(self, request: OperandDecodeRequest) -> None:
+        """Figure 7: rename the object; the operand is ready once renamed."""
+        entry = self.table.lookup(request.address)
+        previous_version = entry.version if entry is not None else None
+        version_id = self._allocate_version_id()
+        latency = self.config.message_latency_cycles
+        self._send_operand_info(request, previous_user=None, expected_ready=1)
+        self.send(self.ovt, VersionRequest(operand=request.operand,
+                                           address=request.address,
+                                           size=request.size,
+                                           kind=VersionKind.OUTPUT,
+                                           version_id=version_id,
+                                           previous_version=previous_version),
+                  latency=latency)
+        self._update_entry(request, version_id)
+        self.stats.count(f"{self.name}.writer_decodes")
+
+    def _decode_inout(self, request: OperandDecodeRequest) -> None:
+        """Figure 9: true dependency -- chain the input, gate the output."""
+        entry = self.table.lookup(request.address)
+        previous_user = entry.last_user if entry is not None else None
+        previous_version = entry.version if entry is not None else None
+        version_id = self._allocate_version_id()
+        latency = self.config.message_latency_cycles
+        self._send_operand_info(request, previous_user=previous_user, expected_ready=2)
+        self.send(self.ovt, VersionRequest(operand=request.operand,
+                                           address=request.address,
+                                           size=request.size,
+                                           kind=VersionKind.INOUT,
+                                           version_id=version_id,
+                                           previous_version=previous_version),
+                  latency=latency)
+        self._update_entry(request, version_id)
+        self.stats.count(f"{self.name}.inout_decodes")
+
+    # -- Helpers -------------------------------------------------------------------------
+
+    def _allocate_version_id(self) -> int:
+        version_id = self._next_version
+        self._next_version += 1
+        return version_id
+
+    def _update_entry(self, request: OperandDecodeRequest, version_id: int) -> None:
+        entry = self.table.peek(request.address)
+        if entry is None:
+            self.table.insert(RenamingEntry(address=request.address, size=request.size,
+                                            last_user=request.operand,
+                                            version=version_id,
+                                            last_user_is_writer=True))
+        else:
+            entry.last_user = request.operand
+            entry.last_user_is_writer = True
+            entry.version = version_id
+            entry.size = request.size
+
+    def _send_operand_info(self, request: OperandDecodeRequest,
+                           previous_user, expected_ready: int) -> None:
+        info = OperandInfo(operand=request.operand, direction=request.direction,
+                           address=request.address, size=request.size,
+                           previous_user=previous_user, expected_ready=expected_ready,
+                           ovt_index=self.index)
+        self.send(self.trs_list[request.operand.trs], info,
+                  latency=self.config.message_latency_cycles)
+
+    def _release_entry(self, release: EntryRelease) -> None:
+        removed = self.table.remove(release.address, version=release.version)
+        if removed:
+            self.stats.count(f"{self.name}.entries_released")

@@ -1,0 +1,170 @@
+"""Object versioning tables (Section IV.B.4).
+
+An OVT accounts for the live versions of memory operands.  It breaks anti-
+and output-dependencies either by renaming (allocating a rename buffer for
+output operands -- the analogue of allocating a free physical register) or by
+chaining inout operands and unblocking them in order (sending a data-ready
+message whenever the previous version is released).
+
+Each OVT entry holds a usage count (reported by the ORT), a pointer to the
+next version and the consumer-chain head; rename buffers are allocated from
+OS-assigned memory through power-of-two buckets.  When a version's usage
+count reaches zero the OVT:
+
+* notifies a waiting inout operand of the superseding version (its output
+  half becomes ready),
+* tells its paired ORT to release the object's entry if the dead version is
+  still the newest one (which is what un-stalls a gateway blocked on a full
+  ORT set).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import FrontendConfig
+from repro.common.errors import ProtocolError
+from repro.frontend.messages import (
+    DataReady,
+    EntryRelease,
+    ReadyKind,
+    VersionKind,
+    VersionRelease,
+    VersionRequest,
+    VersionUse,
+)
+from repro.frontend.storage import VersionTable
+from repro.sim.engine import Engine
+from repro.sim.module import PacketProcessor
+from repro.sim.stats import StatsCollector
+
+
+class ObjectVersioningTable(PacketProcessor):
+    """Timed model of one OVT tile."""
+
+    def __init__(self, engine: Engine, index: int, config: FrontendConfig,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, f"ovt{index}", stats)
+        self.index = index
+        self.config = config
+        self.table = VersionTable(capacity=config.ovt_entries_per_module)
+        #: Wired by the pipeline assembly.
+        self.ort = None
+        self.trs_list: List = []
+        self.gateway = None
+        self._stalling = False
+
+    # -- Assembly -----------------------------------------------------------------
+
+    def attach(self, ort, trs_list: List, gateway=None) -> None:
+        """Wire the OVT to its paired ORT, the TRSs and (optionally) the gateway."""
+        self.ort = ort
+        self.trs_list = trs_list
+        self.gateway = gateway
+
+    def can_accept_version(self) -> bool:
+        """Capacity check used by the paired ORT before decoding an allocator."""
+        return self.table.can_create()
+
+    def update_pressure(self) -> None:
+        """Back-pressure the gateway while the version table is full.
+
+        Mirrors the ORT's capacity policy: a full OVT stops the admission of
+        new tasks (the paper's OVT design-space exploration trades capacity
+        against the achievable window exactly like the ORT's), while versions
+        required for the correctness of operands already in the pipeline are
+        still created and accounted as overflow.
+        """
+        if self.gateway is None:
+            return
+        pressured = self.table.is_pressured()
+        if pressured and not self._stalling:
+            self._stalling = True
+            self.stats.count(f"{self.name}.gateway_stalls")
+            self.gateway.add_stall(self.name)
+        elif not pressured and self._stalling:
+            self._stalling = False
+            self.gateway.remove_stall(self.name)
+
+    # -- PacketProcessor interface ---------------------------------------------------
+
+    def service_time(self, packet) -> int:
+        if isinstance(packet, (VersionRequest, VersionUse, VersionRelease)):
+            return self.config.module_processing_cycles + self.config.edram_latency_cycles
+        raise ProtocolError(f"{self.name} received unexpected packet {packet!r}")
+
+    def handle(self, packet) -> None:
+        if isinstance(packet, VersionRequest):
+            self._create_version(packet)
+        elif isinstance(packet, VersionUse):
+            self._add_user(packet)
+        elif isinstance(packet, VersionRelease):
+            self._release_use(packet)
+        else:  # pragma: no cover - guarded by service_time
+            raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+        self.update_pressure()
+
+    # -- Version management --------------------------------------------------------
+
+    def _create_version(self, request: VersionRequest) -> None:
+        renamed = request.kind is VersionKind.OUTPUT
+        producer = None if request.kind is VersionKind.READER_MISS else request.operand
+        version = self.table.create(address=request.address, size=request.size,
+                                    producer=producer, renamed=renamed,
+                                    version_id=request.version_id)
+        if request.kind is VersionKind.READER_MISS:
+            # Track the missing reader as a user so the version lives until it
+            # finishes (create() only auto-registers writers).
+            self.table.add_user(request.version_id, request.operand)
+            self.stats.count(f"{self.name}.reader_miss_versions")
+            return
+        latency = self.config.message_latency_cycles
+        trs = self.trs_list[request.operand.trs]
+        if request.kind is VersionKind.OUTPUT:
+            # Renamed: the output buffer is available immediately (Figure 7).
+            self.send(trs, DataReady(operand=request.operand,
+                                     kind=ReadyKind.OUTPUT_BUFFER,
+                                     rename_address=version.renamed_address),
+                      latency=latency)
+            self.stats.count(f"{self.name}.renames")
+            return
+        # INOUT: the output half is gated on the release of the previous
+        # version (Figure 9).  If there is no live previous version, the
+        # buffer is free right away.
+        previous = self.table.find(request.previous_version)
+        if previous is not None and previous.usage_count > 0:
+            previous.next_version = request.version_id
+            previous.waiting_inout = request.operand
+            self.stats.count(f"{self.name}.inout_waits")
+        else:
+            self.send(trs, DataReady(operand=request.operand,
+                                     kind=ReadyKind.OUTPUT_BUFFER), latency=latency)
+            self.stats.count(f"{self.name}.inout_immediate")
+
+    def _add_user(self, use: VersionUse) -> None:
+        version = self.table.find(use.version)
+        if version is None:
+            # The version died between the ORT's lookup and this message being
+            # processed; the reader's data is already in memory, so nothing is
+            # lost -- just account for it.
+            self.stats.count(f"{self.name}.use_after_release")
+            return
+        self.table.add_user(use.version, use.operand)
+
+    def _release_use(self, release: VersionRelease) -> None:
+        dead = self.table.release_use(release.operand)
+        if dead is None:
+            return
+        latency = self.config.message_latency_cycles
+        if dead.waiting_inout is not None:
+            # Unblock the inout operand of the superseding version: all the
+            # readers of the previous version have drained.
+            trs = self.trs_list[dead.waiting_inout.trs]
+            self.send(trs, DataReady(operand=dead.waiting_inout,
+                                     kind=ReadyKind.OUTPUT_BUFFER), latency=latency)
+            self.stats.count(f"{self.name}.inout_released")
+        if self.ort is not None:
+            self.send(self.ort, EntryRelease(address=dead.address,
+                                             version=dead.version_id), latency=latency)
+        self.table.remove(dead.version_id)
+        self.stats.count(f"{self.name}.versions_released")

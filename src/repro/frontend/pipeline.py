@@ -1,0 +1,139 @@
+"""Assembly of the task-superscalar frontend.
+
+:class:`TaskSuperscalarFrontend` instantiates the gateway, the configured
+number of TRSs, ORTs and OVTs, and the ready queue, and wires them together
+with the point-to-point links of Figure 5.  It also centralises the two
+measurements the evaluation section relies on:
+
+* the **task decode rate** -- the average time between two successive
+  additions to the task graph (Section VI.A measures exactly this), and
+* the **task-window occupancy** -- how many in-flight tasks the TRSs hold
+  over time, which is what the ORT/TRS capacity sweeps of Figures 14 and 15
+  trade off against speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import FrontendConfig
+from repro.common.ids import TaskID
+from repro.common.units import cycles_to_ns
+from repro.frontend.gateway import PipelineGateway
+from repro.frontend.messages import TaskFinished
+from repro.frontend.ort import ObjectRenamingTable
+from repro.frontend.ovt import ObjectVersioningTable
+from repro.frontend.ready_queue import ReadyQueue
+from repro.frontend.trs import TaskReservationStation
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsCollector
+from repro.trace.records import TaskRecord
+
+
+class TaskSuperscalarFrontend:
+    """The distributed frontend: gateway + TRSs + ORTs + OVTs + ready queue."""
+
+    def __init__(self, engine: Engine, config: FrontendConfig,
+                 stats: Optional[StatsCollector] = None):
+        config.validate()
+        self.engine = engine
+        self.config = config
+        self.stats = stats if stats is not None else StatsCollector()
+
+        self.gateway = PipelineGateway(engine, config, self.stats)
+        self.ready_queue = ReadyQueue(engine, config, self.stats)
+        self.trs_list: List[TaskReservationStation] = [
+            TaskReservationStation(engine, i, config, self.stats)
+            for i in range(config.num_trs)
+        ]
+        self.orts: List[ObjectRenamingTable] = [
+            ObjectRenamingTable(engine, i, config, self.stats)
+            for i in range(config.num_ort)
+        ]
+        self.ovts: List[ObjectVersioningTable] = [
+            ObjectVersioningTable(engine, i, config, self.stats)
+            for i in range(config.num_ovt)
+        ]
+
+        self.gateway.attach(self.trs_list, self.orts)
+        for ort, ovt in zip(self.orts, self.ovts):
+            ort.attach(ovt, self.trs_list, self.gateway)
+            ovt.attach(ort, self.trs_list, self.gateway)
+        for trs in self.trs_list:
+            trs.attach(self.trs_list, self.ovts, self.gateway, self.ready_queue)
+            trs.on_task_decoded = self._record_decode
+
+        #: Decode timestamps, in simulation cycles, in decode-completion order.
+        self.decode_times: List[int] = []
+
+    # -- Task-generating-thread interface -------------------------------------------
+
+    def can_accept(self) -> bool:
+        """True if the gateway buffer has room for another task."""
+        return self.gateway.can_accept()
+
+    def try_submit(self, record: TaskRecord) -> bool:
+        """Submit a task to the gateway; returns False when the buffer is full."""
+        return self.gateway.try_submit(record)
+
+    def notify_when_space(self, callback) -> None:
+        """Register a one-shot callback for when gateway buffer space frees."""
+        self.gateway.notify_when_space(callback)
+
+    # -- Backend interface ---------------------------------------------------------------
+
+    def notify_finished(self, task: TaskID, latency: int = 0) -> None:
+        """Tell the owning TRS that ``task`` completed execution."""
+        self.engine.schedule(latency, self.trs_list[task.trs].receive, TaskFinished(task))
+
+    # -- Measurements ----------------------------------------------------------------------
+
+    def _record_decode(self, task: TaskID, record: TaskRecord, time: int) -> None:
+        self.decode_times.append(time)
+        self.stats.count("frontend.tasks_decoded")
+
+    @property
+    def tasks_decoded(self) -> int:
+        """Number of tasks whose dependency decode has completed."""
+        return len(self.decode_times)
+
+    def decode_rate_cycles(self) -> float:
+        """Average cycles between successive additions to the task graph.
+
+        This is the metric of Figures 12 and 13.  Returns 0.0 when fewer than
+        two tasks have been decoded.
+        """
+        if len(self.decode_times) < 2:
+            return 0.0
+        ordered = sorted(self.decode_times)
+        span = ordered[-1] - ordered[0]
+        return span / (len(ordered) - 1)
+
+    def decode_rate_ns(self, clock_ghz: Optional[float] = None) -> float:
+        """Decode rate in nanoseconds per task."""
+        cycles = self.decode_rate_cycles()
+        if clock_ghz is None:
+            return cycles_to_ns(cycles)
+        return cycles_to_ns(cycles, clock_ghz)
+
+    def window_occupancy(self) -> int:
+        """Number of tasks currently held across all TRSs."""
+        return sum(trs.inflight_tasks for trs in self.trs_list)
+
+    def trs_blocks_in_use(self) -> int:
+        """Total TRS blocks currently allocated across all TRSs."""
+        return sum(trs.storage.used_blocks for trs in self.trs_list)
+
+    def sample_occupancy(self) -> None:
+        """Record a window-occupancy sample into the statistics collector."""
+        occupancy = self.window_occupancy()
+        self.stats.sample("frontend.window_tasks", self.engine.now, occupancy)
+        self.stats.record("frontend.window_occupancy", occupancy)
+
+    def describe(self) -> str:
+        """One-line summary of the frontend configuration."""
+        cfg = self.config
+        return (f"{cfg.num_trs} TRS / {cfg.num_ort} ORT / {cfg.num_ovt} OVT, "
+                f"TRS {cfg.total_trs_capacity_bytes // 1024} KB, "
+                f"ORT {cfg.total_ort_capacity_bytes // 1024} KB, "
+                f"OVT {cfg.total_ovt_capacity_bytes // 1024} KB")

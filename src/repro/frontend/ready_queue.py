@@ -1,0 +1,66 @@
+"""The ready queue between the frontend and the execution backend.
+
+The paper's backend pushes runnable tasks into "a queuing system similar to
+Carbon" (hardware task queues with fast dispatch; the evaluated system does
+not support task stealing).  The model is a simple FIFO that notifies a
+listener -- the backend scheduler -- whenever a task arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.common.config import FrontendConfig
+from repro.common.errors import ProtocolError
+from repro.frontend.messages import TaskReady
+from repro.sim.engine import Engine
+from repro.sim.module import PacketProcessor
+from repro.sim.stats import StatsCollector
+
+
+class ReadyQueue(PacketProcessor):
+    """FIFO of ready tasks feeding the backend scheduler."""
+
+    def __init__(self, engine: Engine, config: FrontendConfig,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, "ready_queue", stats)
+        self.config = config
+        self._ready_tasks: Deque[TaskReady] = deque()
+        #: Callback invoked (with no arguments) whenever a task is enqueued.
+        self.on_task_available: Optional[Callable[[], None]] = None
+        self._peak_depth = 0
+
+    # -- PacketProcessor interface ----------------------------------------------------
+
+    def service_time(self, packet) -> int:
+        if isinstance(packet, TaskReady):
+            # Hardware task queues enqueue in a handful of cycles.
+            return 1
+        raise ProtocolError(f"ready queue received unexpected packet {packet!r}")
+
+    def handle(self, packet) -> None:
+        if not isinstance(packet, TaskReady):  # pragma: no cover - guarded above
+            raise ProtocolError(f"ready queue cannot handle {packet!r}")
+        self._ready_tasks.append(packet)
+        self._peak_depth = max(self._peak_depth, len(self._ready_tasks))
+        self.stats.count("ready_queue.enqueued")
+        if self.on_task_available is not None:
+            self.on_task_available()
+
+    # -- Scheduler interface ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ready_tasks)
+
+    @property
+    def peak_depth(self) -> int:
+        """Largest queue depth observed during the run."""
+        return self._peak_depth
+
+    def pop(self) -> Optional[TaskReady]:
+        """Dequeue the oldest ready task, or None when empty."""
+        if not self._ready_tasks:
+            return None
+        self.stats.count("ready_queue.dequeued")
+        return self._ready_tasks.popleft()

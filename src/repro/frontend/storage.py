@@ -1,0 +1,484 @@
+"""Storage models for the frontend's eDRAM structures.
+
+Three untimed data structures back the timed pipeline modules:
+
+* :class:`BlockStorage` -- the TRS's private eDRAM, managed as an array of
+  fixed 128-byte blocks.  Variable-size tasks use an inode-inspired layout
+  (Figure 11): one main block holding the task globals and the first four
+  operands, plus up to three indirect blocks of five operands each (19
+  operands maximum).  Free blocks are chained in a list whose first 64
+  entries are cached in a small SRAM buffer, so a typical allocation is
+  satisfied in one cycle.
+* :class:`RenamingTable` -- the ORT's map from object base address to its most
+  recent user and current version, organised as a 16-way set-associative
+  cache that never evicts (a full set stalls the gateway instead).
+* :class:`VersionTable` -- the OVT's version records: usage counts, next
+  version pointers, consumer-chain heads and rename-buffer addresses, plus
+  the power-of-two bucket allocator for rename buffers.
+
+Keeping these structures separate from the timed modules makes them easy to
+unit-test and lets the property-based tests hammer the allocators directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import AllocationError, CapacityError
+from repro.common.ids import OperandID
+
+
+# ---------------------------------------------------------------------------
+# TRS block storage (Figure 11)
+# ---------------------------------------------------------------------------
+
+class BlockStorage:
+    """Fixed-size block allocator modelling a TRS's private eDRAM.
+
+    Args:
+        num_blocks: Total number of blocks in the eDRAM array.
+        block_bytes: Size of one block (128 B in the paper).
+        operands_in_main_block: Operands stored in a task's main block (4).
+        operands_per_indirect_block: Operands per indirect block (5).
+        max_indirect_blocks: Maximum indirect blocks per task (3).
+        sram_buffer_entries: Number of free-block addresses cached in the SRAM
+            head buffer (64); allocations served from the buffer cost a single
+            cycle, refills cost an eDRAM access.
+    """
+
+    def __init__(self, num_blocks: int, block_bytes: int = 128,
+                 operands_in_main_block: int = 4,
+                 operands_per_indirect_block: int = 5,
+                 max_indirect_blocks: int = 3,
+                 sram_buffer_entries: int = 64):
+        if num_blocks <= 0:
+            raise CapacityError(f"TRS must have at least one block, got {num_blocks}")
+        self.num_blocks = num_blocks
+        self.block_bytes = block_bytes
+        self.operands_in_main_block = operands_in_main_block
+        self.operands_per_indirect_block = operands_per_indirect_block
+        self.max_indirect_blocks = max_indirect_blocks
+        self.sram_buffer_entries = sram_buffer_entries
+        # Free list: a simple LIFO of block indices.  The SRAM buffer is the
+        # tail of this list; refills are tracked for statistics.
+        self._free: List[int] = list(range(num_blocks - 1, -1, -1))
+        self._sram_level = min(sram_buffer_entries, num_blocks)
+        self.sram_refills = 0
+        self.allocations = 0
+        self.internal_fragmentation_bytes = 0
+
+    # -- Layout ------------------------------------------------------------------
+
+    @property
+    def max_operands(self) -> int:
+        """Maximum operands a task may have under the inode layout (19)."""
+        return (self.operands_in_main_block
+                + self.max_indirect_blocks * self.operands_per_indirect_block)
+
+    def blocks_for(self, num_operands: int) -> int:
+        """Number of blocks (main + indirect) needed for ``num_operands``.
+
+        Raises:
+            CapacityError: if the operand count exceeds the layout's maximum.
+        """
+        if num_operands < 0:
+            raise AllocationError(f"operand count must be non-negative, got {num_operands}")
+        if num_operands > self.max_operands:
+            raise CapacityError(
+                f"a task with {num_operands} operands exceeds the {self.max_operands}-"
+                "operand limit of the main+indirect block layout"
+            )
+        extra = max(0, num_operands - self.operands_in_main_block)
+        indirect = (extra + self.operands_per_indirect_block - 1) // self.operands_per_indirect_block
+        return 1 + indirect
+
+    # -- Allocation ----------------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        """Number of currently free blocks."""
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        """Number of currently allocated blocks."""
+        return self.num_blocks - len(self._free)
+
+    def can_allocate(self, num_operands: int) -> bool:
+        """True if a task with ``num_operands`` operands fits right now."""
+        return self.blocks_for(num_operands) <= len(self._free)
+
+    def allocate(self, num_operands: int) -> Tuple[int, List[int]]:
+        """Allocate blocks for a task.
+
+        Returns:
+            ``(main_block, indirect_blocks)``; the main block index doubles as
+            the task's slot number.
+
+        Raises:
+            AllocationError: if there is not enough free space (callers are
+                expected to check :meth:`can_allocate` first -- the hardware
+                gateway only sends allocation requests to TRSs with space).
+        """
+        needed = self.blocks_for(num_operands)
+        if needed > len(self._free):
+            raise AllocationError(
+                f"cannot allocate {needed} blocks; only {len(self._free)} free"
+            )
+        blocks = [self._free.pop() for _ in range(needed)]
+        served_from_sram = min(needed, self._sram_level)
+        self._sram_level -= served_from_sram
+        if self._sram_level == 0 and self._free:
+            self._sram_level = min(self.sram_buffer_entries, len(self._free))
+            self.sram_refills += 1
+        self.allocations += 1
+        # Track internal fragmentation: unused operand slots in the last block.
+        capacity = (self.operands_in_main_block
+                    + (needed - 1) * self.operands_per_indirect_block)
+        wasted_slots = capacity - num_operands
+        # Approximate an operand record as a fifth of an indirect block.
+        self.internal_fragmentation_bytes += (
+            wasted_slots * self.block_bytes // self.operands_per_indirect_block
+        )
+        return blocks[0], blocks[1:]
+
+    def free(self, main_block: int, indirect_blocks: List[int]) -> None:
+        """Return a task's blocks to the free list."""
+        for block in [main_block, *indirect_blocks]:
+            if block < 0 or block >= self.num_blocks:
+                raise AllocationError(f"block index {block} out of range")
+            self._free.append(block)
+        self._sram_level = min(self.sram_buffer_entries, len(self._free))
+
+    def utilization(self) -> float:
+        """Fraction of blocks currently allocated."""
+        return self.used_blocks / self.num_blocks
+
+
+# ---------------------------------------------------------------------------
+# ORT renaming table
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RenamingEntry:
+    """One ORT entry: the current mapping for a memory object."""
+
+    address: int
+    size: int
+    last_user: OperandID
+    version: int
+    last_user_is_writer: bool
+
+
+class RenamingTable:
+    """Set-associative object-renaming table that never evicts.
+
+    The table is organised as ``num_sets`` sets of ``assoc`` ways.  Lookups
+    hash the object's base address to a set and match the full address within
+    the set.
+
+    Capacity policy: the hardware stalls the *gateway* when an allocation
+    targets a full set, so no new work is admitted until an entry is released
+    by the paired OVT.  Operands already inside the pipeline, however, must
+    still decode correctly (dropping the mapping would silently lose a
+    dependency), so the model lets a set transiently exceed its associativity
+    and accounts for it in ``overflow_insertions`` / :meth:`is_pressured`,
+    which the ORT converts into gateway back-pressure.  This keeps the
+    performance effect of a small ORT (a throttled task window) while
+    guaranteeing forward progress; the divergence from the strict never-
+    overflow hardware is visible in the overflow counter and stays tiny for
+    the configurations of the paper.
+    """
+
+    def __init__(self, num_sets: int, assoc: int = 16):
+        if num_sets <= 0:
+            raise CapacityError("ORT must have at least one set")
+        if assoc <= 0:
+            raise CapacityError("ORT associativity must be positive")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._sets: List[Dict[int, RenamingEntry]] = [dict() for _ in range(num_sets)]
+        self._pressured_sets: int = 0
+        self.insertions = 0
+        self.overflow_insertions = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, address: int) -> Dict[int, RenamingEntry]:
+        return self._sets[self.set_index(address)]
+
+    def set_index(self, address: int) -> int:
+        """Set index for ``address``.
+
+        The paper hashes the address (rather than using low-order bits
+        directly) to avoid load imbalance from varying object sizes and
+        alignments.
+        """
+        from repro.common.hashing import bucket_for
+
+        return bucket_for(address, self.num_sets, salt=1)
+
+    def lookup(self, address: int) -> Optional[RenamingEntry]:
+        """Return the entry for ``address``, or None (recording hit/miss)."""
+        entry = self._set_for(address).get(address)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def peek(self, address: int) -> Optional[RenamingEntry]:
+        """Like :meth:`lookup` but without touching the hit/miss counters."""
+        return self._set_for(address).get(address)
+
+    def can_insert(self, address: int) -> bool:
+        """True if ``address`` already has an entry or its set has a free way."""
+        target = self._set_for(address)
+        return address in target or len(target) < self.assoc
+
+    def insert(self, entry: RenamingEntry) -> None:
+        """Insert or update the entry for ``entry.address``.
+
+        Inserting into a full set is allowed (see the class docstring) but
+        recorded as an overflow and reflected by :meth:`is_pressured`.
+        """
+        target = self._set_for(entry.address)
+        if entry.address not in target:
+            if len(target) >= self.assoc:
+                self.overflow_insertions += 1
+            self.insertions += 1
+            target[entry.address] = entry
+            if len(target) == self.assoc:
+                self._pressured_sets += 1
+        else:
+            target[entry.address] = entry
+
+    def is_pressured(self) -> bool:
+        """True when the table should back-pressure the gateway.
+
+        The table is pressured while any set is at or beyond its
+        associativity, or the total occupancy has reached the nominal
+        capacity -- the situations in which the hardware would be stalling the
+        gateway waiting for a release.
+        """
+        return self._pressured_sets > 0 or self.occupancy >= self.capacity
+
+    def remove(self, address: int, version: Optional[int] = None) -> bool:
+        """Remove the entry for ``address``.
+
+        Args:
+            address: Base address of the object.
+            version: If given, only remove the entry when it still refers to
+                this version (a later writer may have already superseded it).
+
+        Returns:
+            True if an entry was removed.
+        """
+        target = self._set_for(address)
+        entry = target.get(address)
+        if entry is None:
+            return False
+        if version is not None and entry.version != version:
+            return False
+        del target[address]
+        if len(target) == self.assoc - 1:
+            # The set just dropped back below its associativity.
+            self._pressured_sets -= 1
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        """Total number of live entries."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def capacity(self) -> int:
+        """Total number of ways across all sets."""
+        return self.num_sets * self.assoc
+
+
+# ---------------------------------------------------------------------------
+# OVT version table and rename-buffer allocator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VersionRecord:
+    """One OVT entry: a live version of a memory object.
+
+    Attributes:
+        version_id: Identifier of the version within its OVT.
+        address: Base address of the renamed object.
+        size: Object size in bytes.
+        producer: Operand that created the version (writer), or None for a
+            version created by a reader miss (the data already in memory).
+        usage_count: Number of in-flight task operands mapped to this version;
+            decremented as tasks finish, the version is released at zero.
+        renamed_address: Rename-buffer address for renamed (output) versions.
+        next_version: The version that superseded this one, if any.
+        waiting_inout: Operand of the superseding inout version waiting for
+            this version's release (Figure 9's second data-ready message).
+    """
+
+    version_id: int
+    address: int
+    size: int
+    producer: Optional[OperandID]
+    usage_count: int = 0
+    renamed_address: Optional[int] = None
+    next_version: Optional[int] = None
+    waiting_inout: Optional[OperandID] = None
+
+
+class RenameBufferAllocator:
+    """Power-of-two bucket allocator for rename buffers (Section IV.B.4).
+
+    The operating system assigns the OVT a region of main memory, broken into
+    fixed-size chunks kept in per-size buckets; allocation grabs a buffer from
+    the appropriate bucket and refills it from the region when empty.  The
+    model tracks addresses and bytes handed out but never runs out (the
+    region is refilled from main memory on demand, exactly as in the paper).
+    """
+
+    def __init__(self, base_address: int = 0x4000_0000, min_bucket_bytes: int = 4096):
+        self._next = base_address
+        self._min_bucket = min_bucket_bytes
+        self.allocated_buffers = 0
+        self.allocated_bytes = 0
+        self.bucket_histogram: Dict[int, int] = {}
+
+    def bucket_size(self, size: int) -> int:
+        """Smallest power-of-two bucket that fits ``size`` bytes."""
+        bucket = self._min_bucket
+        while bucket < size:
+            bucket *= 2
+        return bucket
+
+    def allocate(self, size: int) -> int:
+        """Allocate a rename buffer for an object of ``size`` bytes."""
+        bucket = self.bucket_size(size)
+        address = self._next
+        self._next += bucket
+        self.allocated_buffers += 1
+        self.allocated_bytes += bucket
+        self.bucket_histogram[bucket] = self.bucket_histogram.get(bucket, 0) + 1
+        return address
+
+
+class VersionTable:
+    """The OVT's table of live versions plus per-operand version membership."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise CapacityError("OVT capacity must be positive")
+        self.capacity = capacity
+        self._versions: Dict[int, VersionRecord] = {}
+        self._operand_version: Dict[OperandID, int] = {}
+        self._next_id = 0
+        self.created = 0
+        self.released = 0
+        self.overflow_creations = 0
+        self.renamer = RenameBufferAllocator()
+
+    @property
+    def live_versions(self) -> int:
+        """Number of versions currently live."""
+        return len(self._versions)
+
+    def can_create(self) -> bool:
+        """True if a new version fits within the nominal capacity."""
+        return len(self._versions) < self.capacity
+
+    def is_pressured(self) -> bool:
+        """True when the table is at or beyond its nominal capacity.
+
+        Like the ORT (see :class:`RenamingTable`), a full OVT back-pressures
+        the gateway rather than blocking operands already in the pipeline;
+        versions created while pressured are counted in ``overflow_creations``.
+        """
+        return len(self._versions) >= self.capacity
+
+    def create(self, address: int, size: int, producer: Optional[OperandID],
+               renamed: bool, version_id: Optional[int] = None) -> VersionRecord:
+        """Create a new version.
+
+        Args:
+            version_id: Optional externally assigned identifier.  The paired
+                ORT pre-allocates version IDs so it can keep decoding without
+                waiting for the OVT's reply; passing them through here keeps
+                both modules' numbering consistent.
+
+        """
+        if not self.can_create():
+            self.overflow_creations += 1
+        if version_id is None:
+            version_id = self._next_id
+            self._next_id += 1
+        elif version_id in self._versions:
+            raise AllocationError(f"version id {version_id} is already live")
+        else:
+            self._next_id = max(self._next_id, version_id + 1)
+        version = VersionRecord(version_id=version_id, address=address, size=size,
+                                producer=producer)
+        if renamed:
+            version.renamed_address = self.renamer.allocate(size)
+        self._versions[version.version_id] = version
+        self.created += 1
+        if producer is not None:
+            version.usage_count += 1
+            self._operand_version[producer] = version.version_id
+        return version
+
+    def get(self, version_id: int) -> VersionRecord:
+        """Return a live version record.
+
+        Raises:
+            KeyError: if the version does not exist or was already released.
+        """
+        return self._versions[version_id]
+
+    def find(self, version_id: Optional[int]) -> Optional[VersionRecord]:
+        """Return a live version record, or None if it was already released."""
+        if version_id is None:
+            return None
+        return self._versions.get(version_id)
+
+    def add_user(self, version_id: int, operand: OperandID) -> VersionRecord:
+        """Map a reader operand onto an existing version (usage count + 1)."""
+        version = self._versions[version_id]
+        version.usage_count += 1
+        self._operand_version[operand] = version_id
+        return version
+
+    def version_of(self, operand: OperandID) -> Optional[int]:
+        """Version an operand is mapped to, if any."""
+        return self._operand_version.get(operand)
+
+    def release_use(self, operand: OperandID) -> Optional[VersionRecord]:
+        """Decrement the usage count of the version ``operand`` maps to.
+
+        Returns:
+            The version record if the decrement drove the count to zero (i.e.
+            the version is now dead and should be released), else ``None``.
+        """
+        version_id = self._operand_version.pop(operand, None)
+        if version_id is None:
+            return None
+        version = self._versions.get(version_id)
+        if version is None:
+            return None
+        version.usage_count -= 1
+        if version.usage_count < 0:
+            raise AllocationError(
+                f"usage count of version {version_id} (@{version.address:#x}) "
+                "went negative"
+            )
+        if version.usage_count == 0:
+            return version
+        return None
+
+    def remove(self, version_id: int) -> None:
+        """Delete a (dead) version from the table."""
+        if version_id in self._versions:
+            del self._versions[version_id]
+            self.released += 1

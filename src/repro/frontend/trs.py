@@ -1,0 +1,427 @@
+"""Task reservation stations (Section IV.B.2).
+
+A TRS stores the meta-data of in-flight tasks (including the IDs of operand
+data consumers) and thereby embeds the task dependency graph.  Storage is a
+private eDRAM managed as fixed 128-byte blocks with the inode-style layout of
+Figure 11; incoming messages carry the task ID tuple, so no associative
+lookups are needed.
+
+The TRS implements:
+
+* allocation of task storage on a gateway request (Figure 6), replying with
+  the slot number that becomes the task's ID;
+* operand tracking: scalars are ready on arrival, outputs become ready when
+  the OVT renames them, inputs when their producer's (or chained
+  predecessor's) data-ready arrives, inouts when both halves arrive;
+* **consumer chaining** (Figure 10): each operand stores at most one chained
+  consumer; a reader forwards the data-ready it receives to its successor
+  immediately, while a writer forwards only when its task finishes;
+* dispatch of fully ready tasks to the ready queue;
+* the completion path: on a task-finished message the TRS sends data-ready
+  messages to the chained consumers of its written operands, notifies the
+  OVTs to decrement version usage counts, frees the task's blocks and tells
+  the gateway it has space again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import FrontendConfig
+from repro.common.errors import ProtocolError
+from repro.common.ids import OperandID, TaskID
+from repro.frontend.messages import (
+    AllocReply,
+    AllocRequest,
+    DataReady,
+    OperandInfo,
+    ReadyKind,
+    RegisterConsumer,
+    ScalarOperand,
+    TaskFinished,
+    TaskReady,
+    TrsSpaceAvailable,
+    VersionRelease,
+)
+from repro.frontend.storage import BlockStorage
+from repro.sim.engine import Engine
+from repro.sim.module import PacketProcessor
+from repro.sim.stats import StatsCollector
+from repro.trace.records import Direction, TaskRecord
+
+
+@dataclass
+class _OperandState:
+    """Tracking state for one operand of an in-flight task."""
+
+    index: int
+    decoded: bool = False
+    is_scalar: bool = False
+    direction: Optional[Direction] = None
+    address: Optional[int] = None
+    ovt_index: Optional[int] = None
+    input_satisfied: bool = False
+    output_satisfied: bool = False
+    #: The data of this operand is available to chained consumers (for a
+    #: reader: it received its input data; for a writer: its task finished).
+    data_available: bool = False
+    chained_consumer: Optional[OperandID] = None
+    forwarded: bool = False
+    rename_address: Optional[int] = None
+
+    @property
+    def ready(self) -> bool:
+        """True once the operand no longer blocks its task."""
+        return self.decoded and self.input_satisfied and self.output_satisfied
+
+
+@dataclass
+class _TaskEntry:
+    """An in-flight task stored in the TRS."""
+
+    task: TaskID
+    record: TaskRecord
+    main_block: int
+    indirect_blocks: List[int]
+    operands: List[_OperandState]
+    alloc_time: int
+    decode_time: Optional[int] = None
+    ready_time: Optional[int] = None
+    finished: bool = False
+
+    @property
+    def pending_operands(self) -> int:
+        return sum(1 for op in self.operands if not op.ready)
+
+    @property
+    def undecoded_operands(self) -> int:
+        return sum(1 for op in self.operands if not op.decoded)
+
+
+@dataclass
+class _RetiredOperand:
+    """Forwarding stub kept after a task's storage is freed.
+
+    A late register-consumer message can still reference an operand of a task
+    that already finished (its version may outlive it while other readers
+    drain).  The hardware resolves this through the version's consumer-chain
+    head in the OVT; the model keeps a small stub recording that the operand's
+    data is available so the chain is never broken.
+    """
+
+    data_available: bool = True
+    chained_consumer: Optional[OperandID] = None
+
+
+class TaskReservationStation(PacketProcessor):
+    """Timed model of one TRS tile."""
+
+    def __init__(self, engine: Engine, index: int, config: FrontendConfig,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, f"trs{index}", stats)
+        self.index = index
+        self.config = config
+        self.storage = BlockStorage(
+            num_blocks=config.trs_blocks_per_module,
+            block_bytes=config.trs_block_bytes,
+            operands_in_main_block=config.operands_in_main_block,
+            operands_per_indirect_block=config.operands_per_indirect_block,
+            max_indirect_blocks=config.max_indirect_blocks,
+        )
+        #: Wired by the pipeline assembly.
+        self.trs_list: List = []
+        self.ovts: List = []
+        self.gateway = None
+        self.ready_queue = None
+        #: Callback invoked with (task_id, record, time) when a task's decode
+        #: completes; used by the pipeline for decode-rate measurement.
+        self.on_task_decoded = None
+        self._tasks: Dict[int, _TaskEntry] = {}
+        self._retired: Dict[OperandID, _RetiredOperand] = {}
+        self._next_slot = 0
+        self._reported_full = False
+
+    # -- Assembly -----------------------------------------------------------------
+
+    def attach(self, trs_list: List, ovts: List, gateway, ready_queue) -> None:
+        """Wire the TRS to its peers, the OVTs, the gateway and the ready queue."""
+        self.trs_list = trs_list
+        self.ovts = ovts
+        self.gateway = gateway
+        self.ready_queue = ready_queue
+
+    # -- Introspection ---------------------------------------------------------------
+
+    @property
+    def inflight_tasks(self) -> int:
+        """Number of tasks currently stored in this TRS."""
+        return len(self._tasks)
+
+    def get_entry(self, task: TaskID) -> Optional[_TaskEntry]:
+        """Return the entry for ``task`` if it is still in flight."""
+        return self._tasks.get(task.slot)
+
+    # -- PacketProcessor interface -----------------------------------------------------
+
+    def service_time(self, packet) -> int:
+        processing = self.config.module_processing_cycles
+        edram = self.config.edram_latency_cycles
+        if isinstance(packet, AllocRequest):
+            return processing + edram
+        if isinstance(packet, (OperandInfo, ScalarOperand, DataReady, RegisterConsumer)):
+            return processing + edram
+        if isinstance(packet, TaskFinished):
+            entry = self._tasks.get(packet.task.slot)
+            operands = entry.record.num_operands if entry is not None else 1
+            return processing * max(1, operands) + edram
+        raise ProtocolError(f"{self.name} received unexpected packet {packet!r}")
+
+    def handle(self, packet) -> None:
+        if isinstance(packet, AllocRequest):
+            self._handle_alloc(packet)
+        elif isinstance(packet, ScalarOperand):
+            self._handle_scalar(packet)
+        elif isinstance(packet, OperandInfo):
+            self._handle_operand_info(packet)
+        elif isinstance(packet, DataReady):
+            self._handle_data_ready(packet)
+        elif isinstance(packet, RegisterConsumer):
+            self._handle_register_consumer(packet)
+        elif isinstance(packet, TaskFinished):
+            self._handle_task_finished(packet)
+        else:  # pragma: no cover - guarded by service_time
+            raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+
+    # -- Allocation (Figure 6) ---------------------------------------------------------
+
+    def _handle_alloc(self, request: AllocRequest) -> None:
+        latency = self.config.message_latency_cycles
+        if not self.storage.can_allocate(request.num_operands):
+            self._reported_full = True
+            self.stats.count(f"{self.name}.alloc_rejected")
+            self.send(self.gateway, AllocReply(trs_index=self.index,
+                                               buffer_slot=request.buffer_slot,
+                                               task=None), latency=latency)
+            return
+        main_block, indirect = self.storage.allocate(request.num_operands)
+        slot = self._next_slot
+        self._next_slot += 1
+        task = TaskID(self.index, slot)
+        # The record itself arrives with the operand messages; store a
+        # placeholder entry keyed by the slot now so those messages always
+        # find their task.  The gateway fills in the record via the reply path.
+        entry = _TaskEntry(task=task, record=None, main_block=main_block,
+                           indirect_blocks=indirect,
+                           operands=[_OperandState(index=i)
+                                     for i in range(request.num_operands)],
+                           alloc_time=self.now)
+        self._tasks[slot] = entry
+        self.stats.count(f"{self.name}.tasks_allocated")
+        self.send(self.gateway, AllocReply(trs_index=self.index,
+                                           buffer_slot=request.buffer_slot,
+                                           task=task), latency=latency)
+
+    def bind_record(self, task: TaskID, record: TaskRecord) -> None:
+        """Associate the task's trace record with its TRS entry.
+
+        Called by the gateway (zero-cost bookkeeping: the hardware ships the
+        task buffer alongside the operand messages; the model keeps a single
+        shared record object instead of serialising it).
+        """
+        entry = self._tasks.get(task.slot)
+        if entry is None:
+            raise ProtocolError(f"{self.name}: cannot bind record to unknown task {task}")
+        entry.record = record
+        if len(entry.operands) != record.num_operands:
+            raise ProtocolError(
+                f"{self.name}: task {task} allocated for {len(entry.operands)} operands "
+                f"but its record has {record.num_operands}"
+            )
+
+    # -- Operand decode ------------------------------------------------------------------
+
+    def _operand_state(self, operand: OperandID) -> Optional[_OperandState]:
+        entry = self._tasks.get(operand.slot)
+        if entry is None:
+            return None
+        if operand.index >= len(entry.operands):
+            raise ProtocolError(f"{self.name}: operand index out of range: {operand}")
+        return entry.operands[operand.index]
+
+    def _handle_scalar(self, packet: ScalarOperand) -> None:
+        state = self._operand_state(packet.operand)
+        if state is None:
+            raise ProtocolError(f"{self.name}: scalar for unknown task {packet.operand}")
+        state.decoded = True
+        state.is_scalar = True
+        state.input_satisfied = True
+        state.output_satisfied = True
+        state.data_available = True
+        self.stats.count(f"{self.name}.scalar_operands")
+        self._after_operand_update(packet.operand)
+
+    def _handle_operand_info(self, info: OperandInfo) -> None:
+        state = self._operand_state(info.operand)
+        if state is None:
+            raise ProtocolError(f"{self.name}: operand info for unknown task {info.operand}")
+        if state.decoded:
+            raise ProtocolError(f"{self.name}: operand {info.operand} decoded twice")
+        state.decoded = True
+        state.direction = info.direction
+        state.address = info.address
+        state.ovt_index = info.ovt_index
+        if info.direction is Direction.INPUT:
+            state.output_satisfied = True
+            if info.previous_user is None:
+                # ORT miss: the data already lives in memory.
+                state.input_satisfied = True
+                state.data_available = True
+            else:
+                self._register_with(info.previous_user, info.operand)
+        elif info.direction is Direction.OUTPUT:
+            state.input_satisfied = True
+            # output_satisfied arrives with the OVT's rename data-ready.
+        elif info.direction is Direction.INOUT:
+            if info.previous_user is None:
+                state.input_satisfied = True
+            else:
+                self._register_with(info.previous_user, info.operand)
+            # output_satisfied arrives when the previous version is released.
+        self.stats.count(f"{self.name}.operands_decoded")
+        self._after_operand_update(info.operand)
+
+    def _register_with(self, target: OperandID, consumer: OperandID) -> None:
+        """Send a register-consumer request to the TRS holding ``target``."""
+        self.send(self.trs_list[target.trs],
+                  RegisterConsumer(target=target, consumer=consumer),
+                  latency=self.config.message_latency_cycles)
+        self.stats.count(f"{self.name}.consumer_registrations")
+
+    # -- Consumer chaining (Figure 10) ------------------------------------------------------
+
+    def _handle_register_consumer(self, packet: RegisterConsumer) -> None:
+        state = self._operand_state(packet.target)
+        if state is None:
+            # The target task already finished and was freed; its data is
+            # necessarily available, so complete the chain immediately.
+            stub = self._retired.get(packet.target)
+            if stub is None:
+                raise ProtocolError(
+                    f"{self.name}: register-consumer for unknown operand {packet.target}"
+                )
+            if stub.chained_consumer is not None:
+                raise ProtocolError(
+                    f"{self.name}: operand {packet.target} already has a chained consumer"
+                )
+            stub.chained_consumer = packet.consumer
+            self._forward_ready(packet.target, packet.consumer)
+            return
+        if state.chained_consumer is not None:
+            raise ProtocolError(
+                f"{self.name}: operand {packet.target} already has a chained consumer "
+                f"({state.chained_consumer}); the ORT should chain new consumers "
+                "after the most recent user"
+            )
+        state.chained_consumer = packet.consumer
+        if state.data_available:
+            state.forwarded = True
+            self._forward_ready(packet.target, packet.consumer)
+
+    def _forward_ready(self, source: OperandID, consumer: OperandID) -> None:
+        """Forward a data-ready message along the consumer chain."""
+        self.send(self.trs_list[consumer.trs],
+                  DataReady(operand=consumer, kind=ReadyKind.INPUT_DATA),
+                  latency=self.config.message_latency_cycles)
+        self.stats.count(f"{self.name}.ready_forwarded")
+
+    # -- Data-ready handling ----------------------------------------------------------------
+
+    def _handle_data_ready(self, packet: DataReady) -> None:
+        state = self._operand_state(packet.operand)
+        if state is None:
+            # The owning task finished before this message arrived.  This can
+            # only happen for OUTPUT_BUFFER messages racing a chain forward
+            # (the task cannot have dispatched without all its ready halves),
+            # so it indicates a protocol bug -- fail loudly.
+            raise ProtocolError(
+                f"{self.name}: data-ready for retired operand {packet.operand}"
+            )
+        if not state.decoded:
+            raise ProtocolError(
+                f"{self.name}: data-ready for operand {packet.operand} before its "
+                "operand-info message"
+            )
+        if packet.kind in (ReadyKind.INPUT_DATA, ReadyKind.FULL):
+            state.input_satisfied = True
+            # Readers forward along the chain as soon as their data arrives --
+            # the version's data exists, so further readers may proceed.
+            # Writers (output/inout) must NOT be treated as forwardable yet:
+            # their consumers wait for the data the *writer* will produce,
+            # which only exists once the writer's task finishes.
+            if state.direction is Direction.INPUT:
+                state.data_available = True
+                if state.chained_consumer is not None and not state.forwarded:
+                    state.forwarded = True
+                    self._forward_ready(packet.operand, state.chained_consumer)
+        if packet.kind in (ReadyKind.OUTPUT_BUFFER, ReadyKind.FULL):
+            state.output_satisfied = True
+            if packet.rename_address is not None:
+                state.rename_address = packet.rename_address
+        self.stats.count(f"{self.name}.data_ready")
+        self._after_operand_update(packet.operand)
+
+    # -- Readiness and dispatch ---------------------------------------------------------------
+
+    def _after_operand_update(self, operand: OperandID) -> None:
+        entry = self._tasks.get(operand.slot)
+        if entry is None:
+            return
+        if entry.decode_time is None and entry.undecoded_operands == 0:
+            entry.decode_time = self.now
+            self.stats.count(f"{self.name}.tasks_decoded")
+            if self.on_task_decoded is not None:
+                self.on_task_decoded(entry.task, entry.record, self.now)
+        if entry.ready_time is None and entry.pending_operands == 0:
+            entry.ready_time = self.now
+            self.stats.count(f"{self.name}.tasks_ready")
+            self.send(self.ready_queue, TaskReady(task=entry.task, record=entry.record),
+                      latency=self.config.message_latency_cycles)
+
+    # -- Completion path -----------------------------------------------------------------------
+
+    def _handle_task_finished(self, packet: TaskFinished) -> None:
+        entry = self._tasks.get(packet.task.slot)
+        if entry is None:
+            raise ProtocolError(f"{self.name}: finish for unknown task {packet.task}")
+        if entry.ready_time is None:
+            raise ProtocolError(f"{self.name}: task {packet.task} finished before ready")
+        entry.finished = True
+        latency = self.config.message_latency_cycles
+        for state in entry.operands:
+            operand_id = entry.task.operand(state.index)
+            if not state.is_scalar and state.ovt_index is not None:
+                self.send(self.ovts[state.ovt_index],
+                          VersionRelease(operand=operand_id, address=state.address),
+                          latency=latency)
+            if state.direction in (Direction.OUTPUT, Direction.INOUT):
+                state.data_available = True
+                if state.chained_consumer is not None and not state.forwarded:
+                    state.forwarded = True
+                    self._forward_ready(operand_id, state.chained_consumer)
+            # Keep a forwarding stub for late register-consumer messages.
+            self._retired[operand_id] = _RetiredOperand(
+                data_available=True,
+                chained_consumer=state.chained_consumer,
+            )
+        chain_len = sum(1 for state in entry.operands if state.chained_consumer is not None)
+        self.stats.observe("chain.forwards_per_task", chain_len)
+        self.storage.free(entry.main_block, entry.indirect_blocks)
+        del self._tasks[packet.task.slot]
+        self.stats.count(f"{self.name}.tasks_finished")
+        if self._reported_full:
+            # The gateway dropped this TRS from its free queue after a
+            # rejected allocation; tell it storage is available again.
+            self._reported_full = False
+            self.send(self.gateway, TrsSpaceAvailable(trs_index=self.index),
+                      latency=latency)

@@ -1,0 +1,39 @@
+"""Memory-hierarchy substrate of the simulated CMP (Table II).
+
+The paper's backend is a generic CMP: in-order cores with private 64 KB L1
+caches, a 32-bank shared L2 (4 MB/bank) kept coherent with a directory-based
+MSI protocol embedded in the L2, a segmented two-level ring interconnect and
+four DDR3 memory controllers.
+
+Because the system simulator is trace-driven (task runtimes already include
+the memory behaviour measured for L1-resident working sets), the memory
+hierarchy is provided as a substrate with two uses:
+
+* standalone, unit-testable models of each component
+  (:class:`repro.memsys.cache.SetAssociativeCache`,
+  :class:`repro.memsys.coherence.DirectoryMSI`,
+  :class:`repro.memsys.interconnect.TwoLevelRing`,
+  :class:`repro.memsys.dram.MemoryController`), and
+* an aggregate :class:`repro.memsys.hierarchy.MemoryHierarchy` that estimates
+  the cycles needed to move a task's operand footprint to a core, used for
+  optional data-transfer accounting and for the L1-capacity argument of
+  Section II (task working sets should fit in the 64 KB L1).
+"""
+
+from repro.memsys.cache import CacheStats, SetAssociativeCache
+from repro.memsys.coherence import CoherenceState, DirectoryMSI
+from repro.memsys.dram import DRAMChannel, MemoryController
+from repro.memsys.hierarchy import MemoryHierarchy, TaskTransferEstimate
+from repro.memsys.interconnect import TwoLevelRing
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "CoherenceState",
+    "DirectoryMSI",
+    "DRAMChannel",
+    "MemoryController",
+    "MemoryHierarchy",
+    "TaskTransferEstimate",
+    "TwoLevelRing",
+]

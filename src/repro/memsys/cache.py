@@ -1,0 +1,151 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for both the private L1s (64 KB, 4-way, 64 B lines, 3-cycle latency) and
+the shared L2 banks (4 MB, 8-way, 22-cycle latency).  The model is functional
+(hit/miss tracking and replacement) rather than timed; latencies are applied
+by the callers that compose caches into a hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when there were no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache with LRU replacement."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int = 64,
+                 latency_cycles: int = 3, name: str = "cache"):
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigurationError("cache size, associativity and line size must be positive")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ConfigurationError(
+                f"cache size {size_bytes} is not a multiple of assoc*line "
+                f"({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency_cycles = latency_cycles
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        # Each set is an OrderedDict mapping line tag -> dirty flag; ordering
+        # encodes recency (last item = most recently used).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- Address helpers -------------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Align ``address`` down to its cache-line address."""
+        return address - (address % self.line_bytes)
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    # -- Access ---------------------------------------------------------------------
+
+    def probe(self, address: int) -> bool:
+        """True if ``address`` is present (does not update LRU or stats)."""
+        index, tag = self._index_tag(address)
+        return tag in self._sets[index]
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        Misses allocate the line (write-allocate) and may evict the LRU line;
+        dirty evictions are counted as writebacks.
+        """
+        index, tag = self._index_tag(address)
+        target = self._sets[index]
+        if tag in target:
+            target.move_to_end(tag)
+            if write:
+                target[tag] = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(target) >= self.assoc:
+            _victim, dirty = target.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        target[tag] = write
+        return False
+
+    def access_range(self, address: int, size: int, write: bool = False) -> Tuple[int, int]:
+        """Access every line of ``[address, address+size)``.
+
+        Returns:
+            ``(hits, misses)`` over the touched lines.
+        """
+        if size <= 0:
+            return 0, 0
+        hits = misses = 0
+        line = self.line_address(address)
+        end = address + size
+        while line < end:
+            if self.access(line, write=write):
+                hits += 1
+            else:
+                misses += 1
+            line += self.line_bytes
+        return hits, misses
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line containing ``address``; returns True if it was present."""
+        index, tag = self._index_tag(address)
+        target = self._sets[index]
+        if tag in target:
+            del target[tag]
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Drop every line; returns the number of dirty lines written back."""
+        writebacks = 0
+        for target in self._sets:
+            writebacks += sum(1 for dirty in target.values() if dirty)
+            target.clear()
+        self.stats.writebacks += writebacks
+        return writebacks
+
+    @property
+    def occupancy_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(target) for target in self._sets)
+
+    def fits(self, size_bytes: int) -> bool:
+        """True if a working set of ``size_bytes`` fits entirely in the cache.
+
+        This is the Section II argument: task working sets are sized for the
+        64 KB L1 so tasks execute without memory stalls.
+        """
+        return size_bytes <= self.size_bytes

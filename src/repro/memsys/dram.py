@@ -1,0 +1,89 @@
+"""Memory controllers and DDR3 channel model (Table II).
+
+Four memory controllers, each with two single-DIMM 800 MHz DDR3 channels.
+The model estimates, for a transfer of a given size, the access latency plus
+the serialisation time implied by the channel bandwidth, and tracks per-
+channel load so the hierarchy can spread traffic across channels (addresses
+are interleaved across channels at cache-line granularity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class DRAMAccessEstimate:
+    """Latency and occupancy of one memory access."""
+
+    channel: int
+    latency_cycles: int
+    serialization_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles for the access."""
+        return self.latency_cycles + self.serialization_cycles
+
+
+class DRAMChannel:
+    """One DDR3 channel: bandwidth plus per-channel byte accounting."""
+
+    def __init__(self, index: int, bandwidth_bytes_per_cycle: float,
+                 access_latency_cycles: int):
+        self.index = index
+        self.bandwidth_bytes_per_cycle = bandwidth_bytes_per_cycle
+        self.access_latency_cycles = access_latency_cycles
+        self.bytes_served = 0
+        self.accesses = 0
+
+    def access(self, size_bytes: int) -> DRAMAccessEstimate:
+        """Serve one access of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ConfigurationError("access size must be non-negative")
+        self.bytes_served += size_bytes
+        self.accesses += 1
+        serialization = math.ceil(size_bytes / self.bandwidth_bytes_per_cycle)
+        return DRAMAccessEstimate(channel=self.index,
+                                  latency_cycles=self.access_latency_cycles,
+                                  serialization_cycles=serialization)
+
+
+class MemoryController:
+    """All memory controllers and channels of the CMP, address-interleaved."""
+
+    def __init__(self, config: MemoryConfig, line_bytes: int = 64):
+        config.validate()
+        self.config = config
+        self.line_bytes = line_bytes
+        self.channels: List[DRAMChannel] = [
+            DRAMChannel(i, config.channel_bandwidth_bytes_per_cycle,
+                        config.access_latency_cycles)
+            for i in range(config.num_channels)
+        ]
+
+    def channel_for(self, address: int) -> int:
+        """Channel serving ``address`` (cache-line interleaving)."""
+        return (address // self.line_bytes) % len(self.channels)
+
+    def access(self, address: int, size_bytes: int) -> DRAMAccessEstimate:
+        """Access ``size_bytes`` starting at ``address`` on its home channel."""
+        channel = self.channels[self.channel_for(address)]
+        return channel.access(size_bytes)
+
+    def total_bytes(self) -> int:
+        """Total bytes served by all channels."""
+        return sum(channel.bytes_served for channel in self.channels)
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-channel bytes (1.0 is perfectly balanced)."""
+        served = [channel.bytes_served for channel in self.channels]
+        mean = sum(served) / len(served) if served else 0.0
+        if mean == 0:
+            return 1.0
+        return max(served) / mean

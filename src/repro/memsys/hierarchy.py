@@ -1,0 +1,129 @@
+"""Aggregate memory hierarchy: per-task data-transfer estimation.
+
+The system simulator is trace-driven: task runtimes already reflect the
+memory behaviour of L1-resident working sets (that is how Table I was
+measured).  What the trace does *not* include is the cost of moving a task's
+operands to the executing core when they were produced elsewhere -- the cache
+misses, coherence traffic, ring transfers and DRAM accesses of the first
+touch.  :class:`MemoryHierarchy` estimates that cost per task and can be used
+
+* to check the Section II argument that task working sets fit in the 64 KB L1
+  (``operand_fits_l1``),
+* by experiments that want to add a data-transfer overhead on top of the
+  trace runtime (an extension knob; the paper's headline results do not
+  include it, so it defaults to off in the system simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.config import CMPConfig, InterconnectConfig, MemoryConfig
+from repro.common.errors import ConfigurationError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.coherence import DirectoryMSI
+from repro.memsys.dram import MemoryController
+from repro.memsys.interconnect import TwoLevelRing
+from repro.trace.records import TaskRecord
+
+
+@dataclass
+class TaskTransferEstimate:
+    """Estimated data-movement cost for running one task on one core."""
+
+    task_sequence: int
+    core: int
+    bytes_from_l2: int
+    bytes_from_memory: int
+    coherence_messages: int
+    transfer_cycles: int
+
+
+class MemoryHierarchy:
+    """L1s + shared L2 + directory + ring + memory controllers."""
+
+    def __init__(self, cmp: Optional[CMPConfig] = None,
+                 interconnect: Optional[InterconnectConfig] = None,
+                 memory: Optional[MemoryConfig] = None):
+        self.cmp = cmp if cmp is not None else CMPConfig()
+        self.icn = interconnect if interconnect is not None else InterconnectConfig()
+        self.mem = memory if memory is not None else MemoryConfig()
+        self.cmp.validate()
+        self.icn.validate()
+        self.mem.validate()
+        self.l1s: Dict[int, SetAssociativeCache] = {
+            core: SetAssociativeCache(self.cmp.l1_size_bytes, self.cmp.l1_assoc,
+                                      self.cmp.l1_line_bytes,
+                                      self.cmp.l1_latency_cycles, name=f"l1.{core}")
+            for core in range(self.cmp.num_cores)
+        }
+        self.l2_banks = [
+            SetAssociativeCache(self.cmp.l2_bank_size_bytes, self.cmp.l2_assoc,
+                                self.cmp.l2_line_bytes, self.cmp.l2_latency_cycles,
+                                name=f"l2.{bank}")
+            for bank in range(self.cmp.l2_banks)
+        ]
+        self.directory = DirectoryMSI(self.cmp.num_cores, self.cmp.l2_line_bytes)
+        self.ring = TwoLevelRing(self.cmp, self.icn)
+        self.memory = MemoryController(self.mem, self.cmp.l2_line_bytes)
+
+    # -- Simple queries --------------------------------------------------------------
+
+    def l2_bank_for(self, address: int) -> int:
+        """Home L2 bank of ``address`` (line-interleaved across banks)."""
+        return (address // self.cmp.l2_line_bytes) % self.cmp.l2_banks
+
+    def operand_fits_l1(self, size_bytes: int) -> bool:
+        """True if a working set of ``size_bytes`` fits in one private L1."""
+        return size_bytes <= self.cmp.l1_size_bytes
+
+    # -- Per-task estimation -----------------------------------------------------------
+
+    def estimate_task_transfer(self, task: TaskRecord, core: int) -> TaskTransferEstimate:
+        """Estimate the data-movement cost of running ``task`` on ``core``.
+
+        Every memory operand is streamed through the core's L1: reads consult
+        the directory (possibly downgrading a previous writer), writes
+        invalidate other sharers; L1 misses are served by the operand's home
+        L2 bank, and L2 misses go to memory.  The returned ``transfer_cycles``
+        is the sum of ring, L2 and DRAM cycles for the missed lines -- an
+        upper bound that assumes no overlap between transfers.
+        """
+        if not 0 <= core < self.cmp.num_cores:
+            raise ConfigurationError(f"core {core} out of range")
+        l1 = self.l1s[core]
+        line = self.cmp.l1_line_bytes
+        bytes_from_l2 = 0
+        bytes_from_memory = 0
+        coherence_messages = 0
+        transfer_cycles = 0
+        for operand in task.memory_operands:
+            write = operand.direction.writes
+            address = operand.address
+            end = address + operand.size
+            current = l1.line_address(address)
+            while current < end:
+                if write:
+                    traffic = self.directory.write(core, current)
+                else:
+                    traffic = self.directory.read(core, current)
+                coherence_messages += traffic.total_messages
+                hit = l1.access(current, write=write)
+                if not hit:
+                    bank_index = self.l2_bank_for(current)
+                    bank = self.l2_banks[bank_index]
+                    l2_hit = bank.access(current, write=write)
+                    estimate = self.ring.transfer(("l2", bank_index), ("core", core), line)
+                    transfer_cycles += estimate.total_cycles + bank.latency_cycles
+                    bytes_from_l2 += line
+                    if not l2_hit:
+                        dram = self.memory.access(current, line)
+                        transfer_cycles += dram.total_cycles
+                        bytes_from_memory += line
+                current += line
+        return TaskTransferEstimate(task_sequence=task.sequence, core=core,
+                                    bytes_from_l2=bytes_from_l2,
+                                    bytes_from_memory=bytes_from_memory,
+                                    coherence_messages=coherence_messages,
+                                    transfer_cycles=transfer_cycles)

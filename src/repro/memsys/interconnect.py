@@ -1,0 +1,124 @@
+"""Segmented two-level ring interconnect (Table II).
+
+Each group of eight cores sits on a local processor ring; a global ring
+connects the processor rings, the L2 banks, the memory controllers and the
+task-superscalar frontend.  Links move 16 bytes per cycle and each segment
+supports four concurrent connections.
+
+The model answers two questions:
+
+* how many hops (and therefore cycles of latency) separate two endpoints, and
+* how many cycles a transfer of a given size occupies the ring, given the
+  per-cycle link bandwidth.
+
+Endpoints are addressed as ``("core", i)``, ``("l2", bank)``, ``("mc", j)``
+or ``("frontend", 0)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.common.config import CMPConfig, InterconnectConfig
+from repro.common.errors import ConfigurationError
+
+Endpoint = Tuple[str, int]
+
+
+@dataclass
+class TransferEstimate:
+    """Latency and occupancy of one ring transfer."""
+
+    hops: int
+    latency_cycles: int
+    serialization_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles for the transfer (latency + serialisation)."""
+        return self.latency_cycles + self.serialization_cycles
+
+
+class TwoLevelRing:
+    """Hop-count and bandwidth model of the segmented two-level ring."""
+
+    def __init__(self, cmp_config: CMPConfig, icn_config: InterconnectConfig):
+        cmp_config.validate()
+        icn_config.validate()
+        self.cmp = cmp_config
+        self.icn = icn_config
+        self.num_local_rings = math.ceil(cmp_config.num_cores / cmp_config.cores_per_ring)
+        #: Total traffic accounting, in bytes, per endpoint kind pair.
+        self.bytes_transferred: Dict[Tuple[str, str], int] = {}
+
+    # -- Topology ----------------------------------------------------------------------
+
+    def ring_of_core(self, core: int) -> int:
+        """Local-ring index of ``core``."""
+        if not 0 <= core < self.cmp.num_cores:
+            raise ConfigurationError(f"core {core} out of range")
+        return core // self.cmp.cores_per_ring
+
+    def _global_position(self, endpoint: Endpoint) -> int:
+        """Position of an endpoint on the global ring.
+
+        Processor rings occupy the first ``num_local_rings`` positions,
+        followed by the L2 banks, the memory controllers and the frontend.
+        """
+        kind, index = endpoint
+        if kind == "core":
+            return self.ring_of_core(index)
+        if kind == "l2":
+            if not 0 <= index < self.cmp.l2_banks:
+                raise ConfigurationError(f"L2 bank {index} out of range")
+            return self.num_local_rings + index
+        if kind == "mc":
+            return self.num_local_rings + self.cmp.l2_banks + index
+        if kind == "frontend":
+            return self.num_local_rings + self.cmp.l2_banks + 8 + index
+        raise ConfigurationError(f"unknown endpoint kind {kind!r}")
+
+    def hops(self, source: Endpoint, destination: Endpoint) -> int:
+        """Number of ring hops between two endpoints.
+
+        Local hops are counted within the source/destination processor rings;
+        global hops are counted along the shorter direction of the global
+        ring.
+        """
+        local_hops = 0
+        for endpoint in (source, destination):
+            if endpoint[0] == "core":
+                # Half the local ring on average; at least one hop to reach
+                # the ring's global-ring interface.
+                local_hops += max(1, self.cmp.cores_per_ring // 2)
+        src_pos = self._global_position(source)
+        dst_pos = self._global_position(destination)
+        ring_size = self.num_local_rings + self.cmp.l2_banks + 8 + 1
+        distance = abs(src_pos - dst_pos)
+        global_hops = min(distance, ring_size - distance)
+        return local_hops + global_hops
+
+    # -- Transfers ----------------------------------------------------------------------
+
+    def transfer(self, source: Endpoint, destination: Endpoint,
+                 size_bytes: int) -> TransferEstimate:
+        """Estimate latency and occupancy for moving ``size_bytes``.
+
+        The transfer is recorded in the traffic accounting.
+        """
+        if size_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        hops = self.hops(source, destination)
+        latency = (hops * self.icn.hop_latency_cycles
+                   + self.icn.global_ring_latency_cycles)
+        serialization = math.ceil(size_bytes / self.icn.bytes_per_cycle)
+        key = (source[0], destination[0])
+        self.bytes_transferred[key] = self.bytes_transferred.get(key, 0) + size_bytes
+        return TransferEstimate(hops=hops, latency_cycles=latency,
+                                serialization_cycles=serialization)
+
+    def total_bytes(self) -> int:
+        """Total bytes moved over the ring so far."""
+        return sum(self.bytes_transferred.values())

@@ -1,0 +1,124 @@
+"""Kernel annotations: the ``#pragma css task`` of the Python model.
+
+In StarSs a kernel is declared with a pragma naming the directionality of
+each parameter::
+
+    #pragma css task input(a, b) inout(c)
+    void sgemm_t(float a[M][M], float b[M][M], float c[M][M]);
+
+The equivalent here is a decorator::
+
+    @task(a="input", b="input", c="inout")
+    def sgemm_t(a, b, c):
+        c.data += a.data @ b.data          # any Python body
+
+Parameters not named in the decorator are treated as *scalar* operands
+(by-value inputs that do not participate in dependency tracking), mirroring
+the paper's scalar operands.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.common.errors import WorkloadError
+from repro.trace.records import Direction
+
+#: Accepted direction spellings in the decorator.
+_DIRECTION_ALIASES: Mapping[str, Direction] = {
+    "input": Direction.INPUT,
+    "in": Direction.INPUT,
+    "output": Direction.OUTPUT,
+    "out": Direction.OUTPUT,
+    "inout": Direction.INOUT,
+}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of an annotated kernel function.
+
+    Attributes:
+        name: Kernel name (the function's ``__name__`` unless overridden).
+        directions: Mapping from parameter name to :class:`Direction` for the
+            parameters that are memory operands.  Parameters missing from the
+            mapping are scalars.
+        parameters: All parameter names in declaration order.
+    """
+
+    name: str
+    directions: Mapping[str, Direction]
+    parameters: Tuple[str, ...]
+
+    def direction_of(self, parameter: str) -> Direction | None:
+        """Direction of ``parameter``, or ``None`` if it is a scalar."""
+        return self.directions.get(parameter)
+
+    @property
+    def num_memory_operands(self) -> int:
+        """Number of parameters that are tracked memory operands."""
+        return len(self.directions)
+
+
+def task(_func: Callable | None = None, *, name: str | None = None,
+         **directions: str) -> Callable:
+    """Annotate a kernel function with operand directionality.
+
+    Args:
+        name: Optional kernel name override.
+        **directions: ``parameter="input" | "output" | "inout"`` for every
+            memory operand of the kernel.  Unlisted parameters are scalars.
+
+    Returns:
+        The decorated function, with a ``spec`` attribute of type
+        :class:`KernelSpec`.  Calling the function directly executes the body
+        as usual; calling it while a :class:`repro.runtime.recorder.TaskProgram`
+        is active submits it as a task instead.
+
+    Raises:
+        WorkloadError: if a direction string is unknown or refers to a
+            parameter the function does not have.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        signature = inspect.signature(func)
+        parameters = tuple(signature.parameters)
+        parsed: Dict[str, Direction] = {}
+        for param, direction in directions.items():
+            if param not in signature.parameters:
+                raise WorkloadError(
+                    f"kernel {func.__name__!r} has no parameter {param!r} "
+                    f"(parameters are {list(parameters)})"
+                )
+            key = str(direction).lower()
+            if key not in _DIRECTION_ALIASES:
+                raise WorkloadError(
+                    f"unknown operand direction {direction!r} for parameter {param!r}; "
+                    f"expected one of {sorted(set(_DIRECTION_ALIASES))}"
+                )
+            parsed[param] = _DIRECTION_ALIASES[key]
+        spec = KernelSpec(name=name or func.__name__, directions=parsed,
+                          parameters=parameters)
+
+        def wrapper(*args, **kwargs):
+            # Import here to avoid a circular import at module load time.
+            from repro.runtime.recorder import current_program
+
+            program = current_program()
+            if program is not None:
+                return program.submit(wrapper, *args, **kwargs)
+            return func(*args, **kwargs)
+
+        wrapper.spec = spec  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = func  # type: ignore[attr-defined]
+        wrapper.__name__ = func.__name__
+        wrapper.__doc__ = func.__doc__
+        wrapper.__qualname__ = func.__qualname__
+        return wrapper
+
+    if _func is not None:
+        # Used as ``@task`` without arguments: every parameter is a scalar.
+        return decorate(_func)
+    return decorate

@@ -1,0 +1,114 @@
+"""Memory objects and the address space used by the programming model.
+
+Task operands are *memory objects*: consecutive regions of memory identified
+by a base pointer and a size (Section III.A).  The programming model allocates
+them from an :class:`AddressSpace`, which hands out non-overlapping base
+addresses, so that the dependency decoders (both the gold software graph
+builder and the hardware ORTs) can identify objects by their base address
+exactly as the paper does.
+
+A :class:`MemoryObject` optionally carries a Python payload (any mutable
+value) so kernels written against the model can be executed functionally; the
+simulators only ever look at the address/size metadata.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Optional
+
+from repro.common.errors import WorkloadError
+
+
+class MemoryObject:
+    """A consecutive region of memory used as a task operand.
+
+    Attributes:
+        address: Base pointer (unique within an :class:`AddressSpace`).
+        size: Size in bytes.
+        name: Optional symbolic name (``"A[2][3]"``) for debugging.
+        data: Optional functional payload manipulated by kernels.
+    """
+
+    __slots__ = ("address", "size", "name", "data")
+
+    def __init__(self, address: int, size: int, name: Optional[str] = None,
+                 data: Any = None):
+        if size <= 0:
+            raise WorkloadError(f"memory object size must be positive, got {size}")
+        if address < 0:
+            raise WorkloadError(f"memory object address must be non-negative, got {address}")
+        self.address = address
+        self.size = size
+        self.name = name
+        self.data = data
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the object."""
+        return self.address + self.size
+
+    def overlaps(self, other: "MemoryObject") -> bool:
+        """True if the two objects share any bytes."""
+        return self.address < other.end and other.address < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or hex(self.address)
+        return f"MemoryObject({label}, {self.size}B @ {self.address:#x})"
+
+
+class AddressSpace:
+    """Allocates non-overlapping memory objects with stable addresses.
+
+    The allocator is deterministic: the same sequence of allocations yields
+    the same addresses, which keeps traces reproducible.  Objects are aligned
+    to ``alignment`` bytes (64 by default, one cache line).
+    """
+
+    def __init__(self, base: int = 0x1000_0000, alignment: int = 64):
+        if base < 0:
+            raise WorkloadError("address-space base must be non-negative")
+        if alignment <= 0:
+            raise WorkloadError("alignment must be positive")
+        self._next = base
+        self._alignment = alignment
+        self._objects: Dict[int, MemoryObject] = {}
+        self._name_counter = itertools.count()
+
+    def alloc(self, size: int, name: Optional[str] = None, data: Any = None) -> MemoryObject:
+        """Allocate a new memory object of ``size`` bytes."""
+        if size <= 0:
+            raise WorkloadError(f"allocation size must be positive, got {size}")
+        if name is None:
+            name = f"obj{next(self._name_counter)}"
+        address = self._next
+        obj = MemoryObject(address, size, name=name, data=data)
+        self._objects[address] = obj
+        padded = (size + self._alignment - 1) // self._alignment * self._alignment
+        self._next += padded
+        return obj
+
+    def alloc_array(self, count: int, size: int, name: str = "block",
+                    data_factory=None) -> list:
+        """Allocate ``count`` objects of identical size, named ``name[i]``."""
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        objects = []
+        for i in range(count):
+            data = data_factory(i) if data_factory is not None else None
+            objects.append(self.alloc(size, name=f"{name}[{i}]", data=data))
+        return objects
+
+    def lookup(self, address: int) -> MemoryObject:
+        """Return the object whose base address is exactly ``address``.
+
+        Raises:
+            KeyError: if no object was allocated at that base address.
+        """
+        return self._objects[address]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[MemoryObject]:
+        return iter(self._objects.values())

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel.
+
+The task-superscalar frontend, the backend CMP and the software-runtime
+baseline are all built on the same small discrete-event core:
+
+* :class:`repro.sim.engine.Engine` -- the event heap and simulated clock.
+* :class:`repro.sim.module.SimModule` -- a named component with convenience
+  scheduling helpers.
+* :class:`repro.sim.module.PacketProcessor` -- a module that serialises the
+  processing of incoming packets (one at a time, each charged a processing
+  time), which is how the paper's pipeline modules behave.
+* :class:`repro.sim.stats.StatsCollector` -- counters, accumulators and
+  histograms shared by all components.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.module import PacketProcessor, SimModule
+from repro.sim.stats import Histogram, StatsCollector
+
+__all__ = [
+    "Engine",
+    "Event",
+    "PacketProcessor",
+    "SimModule",
+    "Histogram",
+    "StatsCollector",
+]

@@ -1,0 +1,176 @@
+"""The discrete-event engine: an event heap and a simulated clock.
+
+The engine is deliberately minimal and fast: events are ``(time, sequence,
+callback, args)`` tuples on a binary heap.  The sequence number gives a
+deterministic FIFO order to events scheduled for the same cycle, which keeps
+every simulation fully reproducible.
+
+Typical use::
+
+    engine = Engine()
+    engine.schedule(10, some_callback, arg1, arg2)
+    engine.run()
+    print(engine.now)
+
+Components built on top of the engine (see :mod:`repro.sim.module`) should
+never manipulate the heap directly; they use :meth:`Engine.schedule` /
+:meth:`Engine.schedule_at`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+
+class SimulationLimitExceeded(ReproError):
+    """Raised when a run exceeds its event or time budget.
+
+    A deadlocked pipeline model (for example a configuration whose gateway is
+    stalled forever) would otherwise simply stop making progress; the limits
+    turn such bugs into loud failures.
+    """
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Engine.schedule` so callers can cancel them.
+    Cancellation is lazy: the event stays on the heap but is skipped when it
+    is popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None],
+                 args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}, {name}{state})"
+
+
+class Engine:
+    """Discrete-event simulation engine with an integer-cycle clock."""
+
+    def __init__(self, max_events: Optional[int] = None,
+                 max_time: Optional[int] = None):
+        """Create an engine.
+
+        Args:
+            max_events: Optional hard cap on the number of events processed in
+                a single :meth:`run` call (guards against livelock in tests).
+            max_time: Optional hard cap on the simulated time.
+        """
+        self._heap: List[Event] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self.max_events = max_events
+        self.max_time = max_time
+
+    # -- Clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # -- Scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(int(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- Execution ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event heap drains (or ``until`` cycles are reached).
+
+        Args:
+            until: Optional absolute time at which to stop.  Events scheduled
+                at exactly ``until`` are still executed.
+
+        Returns:
+            The simulated time after the run.
+
+        Raises:
+            SimulationLimitExceeded: if ``max_events`` or ``max_time`` is hit.
+        """
+        while self._heap:
+            next_event = self._heap[0]
+            if until is not None and next_event.time > until:
+                self._now = until
+                break
+            if self.max_time is not None and next_event.time > self.max_time:
+                raise SimulationLimitExceeded(
+                    f"simulated time exceeded max_time={self.max_time}"
+                )
+            if not self.step():
+                break
+            if self.max_events is not None and self._events_processed > self.max_events:
+                raise SimulationLimitExceeded(
+                    f"event count exceeded max_events={self.max_events}"
+                )
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def drain_idle(self) -> bool:
+        """Return True if nothing further can happen (heap empty or all cancelled)."""
+        return all(event.cancelled for event in self._heap)

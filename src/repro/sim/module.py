@@ -1,0 +1,160 @@
+"""Base classes for simulated hardware components.
+
+Two abstractions cover everything the reproduction needs:
+
+* :class:`SimModule` -- a named component holding references to the engine and
+  the shared statistics collector, with ``schedule``/``send`` helpers.
+
+* :class:`PacketProcessor` -- a :class:`SimModule` that serialises incoming
+  packets.  The paper's pipeline modules (gateway, TRS, ORT, OVT) each have a
+  controller that processes one protocol packet at a time, charging 16 cycles
+  of processing per packet (multiplied by the number of operands involved) on
+  top of eDRAM access latency.  ``PacketProcessor`` models exactly that: a
+  FIFO input queue, a busy/idle state and a per-packet service time supplied
+  by the subclass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsCollector
+
+
+class SimModule:
+    """A named simulation component."""
+
+    def __init__(self, engine: Engine, name: str,
+                 stats: Optional[StatsCollector] = None):
+        self.engine = engine
+        self.name = name
+        self.stats = stats if stats is not None else StatsCollector()
+
+    @property
+    def now(self) -> int:
+        """Current simulated time."""
+        return self.engine.now
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a callback ``delay`` cycles in the future."""
+        self.engine.schedule(delay, callback, *args)
+
+    def send(self, destination: "PacketProcessor", packet: Any, latency: int = 0) -> None:
+        """Deliver ``packet`` to ``destination`` after a transport latency."""
+        self.engine.schedule(latency, destination.receive, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class PacketProcessor(SimModule):
+    """A module that processes incoming packets serially.
+
+    Subclasses implement two methods:
+
+    * :meth:`service_time` -- cycles needed to process a given packet
+      (e.g. ``processing_cycles * num_operands + edram_latency``);
+    * :meth:`handle` -- the packet's effect, invoked once the service time has
+      elapsed.
+
+    The processor also supports *stalling*: while stalled, packets accumulate
+    in the input queue but are not serviced.  The ORT uses this to model the
+    "stall the gateway until an entry is released" behaviour, and the gateway
+    uses it to model back-pressure on the task-generating thread.
+    """
+
+    def __init__(self, engine: Engine, name: str,
+                 stats: Optional[StatsCollector] = None):
+        super().__init__(engine, name, stats)
+        self._input_queue: Deque[Any] = deque()
+        self._busy = False
+        self._stalled = False
+        self._busy_since: int = 0
+        self._busy_cycles: int = 0
+
+    # -- Public interface ---------------------------------------------------
+
+    def receive(self, packet: Any) -> None:
+        """Enqueue a packet for processing."""
+        self._input_queue.append(packet)
+        self.stats.count(f"{self.name}.packets_received")
+        self._try_start()
+
+    @property
+    def queue_length(self) -> int:
+        """Number of packets waiting (not counting one in service)."""
+        return len(self._input_queue)
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a packet is in service."""
+        return self._busy
+
+    @property
+    def is_stalled(self) -> bool:
+        """True while the module refuses to start new packets."""
+        return self._stalled
+
+    @property
+    def busy_cycles(self) -> int:
+        """Total cycles this module has spent servicing packets."""
+        return self._busy_cycles
+
+    def stall(self) -> None:
+        """Stop servicing new packets (packets still accumulate)."""
+        self._stalled = True
+        self.stats.count(f"{self.name}.stalls")
+
+    def unstall(self) -> None:
+        """Resume servicing packets."""
+        if self._stalled:
+            self._stalled = False
+            self._try_start()
+
+    # -- Subclass interface -----------------------------------------------------
+
+    def service_time(self, packet: Any) -> int:
+        """Cycles required to process ``packet``.  Subclasses override."""
+        raise NotImplementedError
+
+    def handle(self, packet: Any) -> None:
+        """Apply the packet's effect.  Subclasses override."""
+        raise NotImplementedError
+
+    def can_start(self, packet: Any) -> bool:
+        """Hook allowing subclasses to refuse the head-of-queue packet.
+
+        Returning ``False`` leaves the packet at the head of the queue and the
+        module idle; the subclass must call :meth:`kick` once the blocking
+        condition clears.
+        """
+        return True
+
+    def kick(self) -> None:
+        """Re-attempt to start servicing (after a blocking condition clears)."""
+        self._try_start()
+
+    # -- Internal ------------------------------------------------------------------
+
+    def _try_start(self) -> None:
+        if self._busy or self._stalled or not self._input_queue:
+            return
+        packet = self._input_queue[0]
+        if not self.can_start(packet):
+            return
+        self._input_queue.popleft()
+        self._busy = True
+        self._busy_since = self.now
+        duration = self.service_time(packet)
+        if duration < 0:
+            raise ValueError(f"{self.name}: negative service time {duration}")
+        self.schedule(duration, self._finish, packet, duration)
+
+    def _finish(self, packet: Any, duration: int) -> None:
+        self._busy = False
+        self._busy_cycles += duration
+        self.stats.count(f"{self.name}.packets_processed")
+        self.handle(packet)
+        self._try_start()

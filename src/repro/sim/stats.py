@@ -1,0 +1,162 @@
+"""Statistics collection for simulator components.
+
+Every module registers a :class:`StatsCollector` (usually shared across the
+whole simulation) and records three kinds of data:
+
+* counters (``stats.count("trs.alloc_requests")``),
+* scalar accumulators with mean/min/max (``stats.record("chain.length", 3)``),
+* time-stamped samples (``stats.sample("window.occupancy", now, value)``)
+  used by the window-occupancy analysis.
+
+Everything is plain Python; the experiment layer converts to whatever
+presentation it needs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class Accumulator:
+    """Streaming mean/min/max/variance accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations (0 for fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+
+class Histogram:
+    """A simple integer-bucketed histogram.
+
+    Used for quantities such as consumer-chain lengths, where the paper quotes
+    percentile statements ("95% of chains are no more than 2 tasks long").
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self._count = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Add ``weight`` observations of ``value``."""
+        self._buckets[int(value)] += weight
+        self._count += weight
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    def items(self) -> List[Tuple[int, int]]:
+        """Sorted (value, count) pairs."""
+        return sorted(self._buckets.items())
+
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return sum(v * c for v, c in self._buckets.items()) / self._count
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value such that at least ``fraction`` of samples are <= it.
+
+        Args:
+            fraction: In ``[0, 1]``.
+
+        Raises:
+            ValueError: if the histogram is empty or ``fraction`` is out of range.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self._count == 0:
+            raise ValueError("cannot take a percentile of an empty histogram")
+        threshold = fraction * self._count
+        running = 0
+        for value, count in self.items():
+            running += count
+            if running >= threshold:
+                return value
+        return self.items()[-1][0]
+
+    def max(self) -> int:
+        """Largest observed value."""
+        if self._count == 0:
+            raise ValueError("empty histogram has no maximum")
+        return self.items()[-1][0]
+
+
+class StatsCollector:
+    """Shared statistics registry for a simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.accumulators: Dict[str, Accumulator] = defaultdict(Accumulator)
+        self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
+        self.samples: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def record(self, name: str, value: float) -> None:
+        """Add ``value`` to the accumulator ``name``."""
+        self.accumulators[name].add(value)
+
+    def observe(self, name: str, value: int, weight: int = 1) -> None:
+        """Add an observation to histogram ``name``."""
+        self.histograms[name].add(value, weight)
+
+    def sample(self, name: str, time: int, value: float) -> None:
+        """Record a time-stamped sample for time-series analysis."""
+        self.samples[name].append((time, value))
+
+    def counter(self, name: str) -> int:
+        """Return the value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Return the mean of accumulator ``name`` (0.0 if empty)."""
+        acc = self.accumulators.get(name)
+        if acc is None or acc.count == 0:
+            return 0.0
+        return acc.mean
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dictionary: counters plus accumulator means."""
+        result: Dict[str, float] = {}
+        for name, value in sorted(self.counters.items()):
+            result[name] = float(value)
+        for name, acc in sorted(self.accumulators.items()):
+            result[f"{name}.mean"] = acc.mean
+            result[f"{name}.max"] = acc.maximum if acc.count else 0.0
+        return result

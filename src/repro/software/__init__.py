@@ -1,0 +1,19 @@
+"""Software-runtime baseline (the StarSs runtime of Figure 16).
+
+The paper compares the hardware pipeline against the highly tuned StarSs
+software runtime: a single thread decodes task dependencies at ~700 ns per
+task (measured on a 2.66 GHz Core Duo; ~2.5 us for the Cell BE port), with an
+effectively infinite task window.  This package models that runtime:
+
+* :class:`repro.software.decoder.SoftwareDecoder` -- the serial dependency
+  decoder.
+* :class:`repro.software.runtime_sim.SoftwareRuntimeSystem` -- a complete
+  simulated machine (task-generating thread + software decoder + scheduler +
+  cores) producing the same :class:`repro.backend.system.SimulationResult`
+  as the hardware simulator, so the two can be compared point by point.
+"""
+
+from repro.software.decoder import SoftwareDecoder
+from repro.software.runtime_sim import SoftwareRuntimeSystem, run_trace_software
+
+__all__ = ["SoftwareDecoder", "SoftwareRuntimeSystem", "run_trace_software"]

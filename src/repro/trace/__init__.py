@@ -1,0 +1,33 @@
+"""Task-trace layer.
+
+The paper's evaluation uses TaskSim, a *trace-driven* simulator: applications
+are first run with the StarSs runtime to record, for every dynamic task, its
+kernel, operands (base address, size, directionality) and measured runtime.
+The simulators then replay those traces.
+
+This package defines the same notion of a trace for the reproduction:
+
+* :class:`repro.trace.records.OperandRecord` and
+  :class:`repro.trace.records.TaskRecord` -- one dynamic task with annotated
+  operands and a runtime in cycles;
+* :class:`repro.trace.records.TaskTrace` -- an ordered sequence of task
+  records produced by a sequential task-generating thread;
+* :mod:`repro.trace.io` -- a JSON-lines reader/writer so traces can be stored
+  and exchanged.
+
+Traces are produced either by the workload generators
+(:mod:`repro.workloads`) or by recording a program written against the
+StarSs-like runtime (:mod:`repro.runtime`).
+"""
+
+from repro.trace.records import Direction, OperandRecord, TaskRecord, TaskTrace
+from repro.trace.io import read_trace, write_trace
+
+__all__ = [
+    "Direction",
+    "OperandRecord",
+    "TaskRecord",
+    "TaskTrace",
+    "read_trace",
+    "write_trace",
+]

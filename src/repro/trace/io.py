@@ -1,0 +1,96 @@
+"""Reading and writing task traces as JSON lines.
+
+The on-disk format is one JSON object per line.  The first line is a header
+record ``{"trace": <name>, "metadata": {...}}``; every subsequent line is one
+task ``{"seq": ..., "kernel": ..., "runtime_cycles": ..., "operands": [...]}``
+with operands encoded as ``[address, size, direction, is_scalar, name]``
+arrays.  The format is intentionally simple so traces can be inspected with
+standard text tools and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.common.errors import TraceFormatError
+from repro.trace.records import Direction, OperandRecord, TaskRecord, TaskTrace
+
+PathLike = Union[str, Path]
+
+
+def _operand_to_json(operand: OperandRecord) -> list:
+    return [operand.address, operand.size, operand.direction.value,
+            operand.is_scalar, operand.name]
+
+
+def _operand_from_json(data: list) -> OperandRecord:
+    if not isinstance(data, list) or len(data) != 5:
+        raise TraceFormatError(f"malformed operand record: {data!r}")
+    address, size, direction, is_scalar, name = data
+    try:
+        parsed_direction = Direction(direction)
+    except ValueError as exc:
+        raise TraceFormatError(f"unknown operand direction {direction!r}") from exc
+    return OperandRecord(address=address, size=size, direction=parsed_direction,
+                         is_scalar=bool(is_scalar), name=name)
+
+
+def write_trace(trace: TaskTrace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in JSON-lines format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"trace": trace.name, "metadata": trace.metadata}
+        handle.write(json.dumps(header) + "\n")
+        for task in trace:
+            record = {
+                "seq": task.sequence,
+                "kernel": task.kernel,
+                "runtime_cycles": task.runtime_cycles,
+                "operands": [_operand_to_json(op) for op in task.operands],
+            }
+            if task.creation_cycles is not None:
+                record["creation_cycles"] = task.creation_cycles
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_trace(path: PathLike) -> TaskTrace:
+    """Read a trace previously written with :func:`write_trace`.
+
+    Raises:
+        TraceFormatError: if the file is malformed.
+    """
+    path = Path(path)
+    tasks: List[TaskRecord] = []
+    name = path.stem
+    metadata = {}
+    with path.open("r", encoding="utf-8") as handle:
+        lines = [line for line in (raw.strip() for raw in handle) if line]
+    if not lines:
+        raise TraceFormatError(f"trace file {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"trace file {path} has a malformed header") from exc
+    if not isinstance(header, dict) or "trace" not in header:
+        raise TraceFormatError(f"trace file {path} is missing the header record")
+    name = header["trace"]
+    metadata = header.get("metadata", {})
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: malformed JSON") from exc
+        try:
+            task = TaskRecord(
+                sequence=record["seq"],
+                kernel=record["kernel"],
+                operands=tuple(_operand_from_json(op) for op in record["operands"]),
+                runtime_cycles=record["runtime_cycles"],
+                creation_cycles=record.get("creation_cycles"),
+            )
+        except KeyError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: missing field {exc}") from exc
+        tasks.append(task)
+    return TaskTrace(name, tasks, metadata)

@@ -1,0 +1,40 @@
+"""Workload generators for the nine benchmark applications of Table I.
+
+The paper evaluates the pipeline with traces of nine scientific applications
+parallelised with StarSs: Cholesky, MatMul, FFT, H264, KMeans, Knn, PBPI,
+SPECFEM and STAP.  We do not have the original application traces, so this
+package synthesises task traces whose *structure* (dependency patterns and
+operand counts) follows the algorithms, and whose per-task runtimes and data
+sizes follow the distributions reported in Table I.
+
+Public entry points:
+
+* :data:`repro.workloads.registry.TABLE1` -- the catalogue of
+  :class:`repro.workloads.base.WorkloadSpec` records (Table I's rows).
+* :func:`repro.workloads.registry.generate` -- build a trace by name with a
+  chosen scale factor.
+* Individual generator classes, e.g.
+  :class:`repro.workloads.cholesky.CholeskyWorkload`.
+"""
+
+from repro.workloads.base import KernelProfile, Workload, WorkloadSpec
+from repro.workloads.registry import (
+    TABLE1,
+    all_workload_names,
+    generate,
+    get_spec,
+    get_workload,
+    table1_rows,
+)
+
+__all__ = [
+    "KernelProfile",
+    "Workload",
+    "WorkloadSpec",
+    "TABLE1",
+    "all_workload_names",
+    "generate",
+    "get_spec",
+    "get_workload",
+    "table1_rows",
+]

@@ -1,0 +1,96 @@
+"""Blocked Cholesky decomposition workload (Table I row "Cholesky").
+
+The task structure is exactly the StarSs program of Figure 4 of the paper:
+
+* ``sgemm_t(a: input, b: input, c: inout)``
+* ``ssyrk_t(a: input, b: inout)``
+* ``spotrf_t(a: inout)``
+* ``strsm_t(a: input, b: inout)``
+
+applied to an ``N x N`` matrix of ``M x M`` blocks.  For ``N = 5`` the trace
+has 35 tasks and its dependency graph is the one drawn in Figure 1 (task
+creation order is preserved, so the figure's observation that the 6th and
+23rd tasks can run in parallel is directly checkable against
+:meth:`repro.runtime.taskgraph.DependencyGraph.is_independent`).
+
+Task runtimes follow Table I: minimum 16 us (``spotrf``), median 33 us
+(``sgemm``), average around 31 us; blocks are 16 KB so ``sgemm`` touches
+48 KB, close to the table's 47 KB average.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import KB
+from repro.trace.records import Direction
+from repro.workloads.base import KernelProfile, TraceBuilder, Workload, WorkloadSpec
+
+#: Size of one matrix block (64x64 single-precision floats).
+BLOCK_BYTES = 16 * KB
+
+SPEC = WorkloadSpec(
+    name="Cholesky",
+    domain="Math. kernel",
+    description="Blocked Cholesky decomposition",
+    avg_data_kb=47,
+    min_runtime_us=16,
+    med_runtime_us=33,
+    avg_runtime_us=31,
+    decode_limit_ns=63,
+)
+
+#: Per-kernel runtime profiles chosen to match the Table I statistics.
+KERNELS = {
+    "spotrf": KernelProfile("spotrf", runtime_us=16.0, jitter=0.02),
+    "strsm": KernelProfile("strsm", runtime_us=24.0, jitter=0.02),
+    "ssyrk": KernelProfile("ssyrk", runtime_us=27.0, jitter=0.02),
+    "sgemm": KernelProfile("sgemm", runtime_us=33.0, jitter=0.02),
+}
+
+
+class CholeskyWorkload(Workload):
+    """Blocked Cholesky decomposition of an ``N x N`` block matrix.
+
+    ``scale`` is ``N``, the number of blocks per matrix dimension.  The number
+    of tasks is ``N*(N+1)*(N+2)/6 + N*(N-1)/2`` (35 for ``N=5``).
+    """
+
+    spec = SPEC
+    default_scale = 24
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        n = scale
+        blocks: List[List] = [[builder.alloc(BLOCK_BYTES, name=f"A[{i}][{j}]")
+                               for j in range(n)] for i in range(n)]
+        builder.metadata["blocks_per_dim"] = n
+        builder.metadata["block_bytes"] = BLOCK_BYTES
+        for j in range(n):
+            for k in range(j):
+                for i in range(j + 1, n):
+                    builder.add_task(KERNELS["sgemm"],
+                                     [(blocks[i][k], Direction.INPUT),
+                                      (blocks[j][k], Direction.INPUT),
+                                      (blocks[i][j], Direction.INOUT)])
+            for i in range(j):
+                builder.add_task(KERNELS["ssyrk"],
+                                 [(blocks[j][i], Direction.INPUT),
+                                  (blocks[j][j], Direction.INOUT)])
+            builder.add_task(KERNELS["spotrf"],
+                             [(blocks[j][j], Direction.INOUT)])
+            for i in range(j + 1, n):
+                builder.add_task(KERNELS["strsm"],
+                                 [(blocks[j][j], Direction.INPUT),
+                                  (blocks[i][j], Direction.INOUT)])
+
+
+def expected_task_count(n: int) -> int:
+    """Number of tasks generated for an ``n x n`` block Cholesky.
+
+    Useful in tests; for ``n = 5`` this returns 35, matching Figure 1.
+    """
+    sgemm = sum((n - j - 1) * j for j in range(n))
+    ssyrk = sum(j for j in range(n))
+    spotrf = n
+    strsm = sum(n - j - 1 for j in range(n))
+    return sgemm + ssyrk + spotrf + strsm

@@ -1,0 +1,94 @@
+"""2D Fast Fourier Transform workload (Table I row "FFT").
+
+The blocked 2D FFT proceeds in stages over an ``N x N`` grid of small blocks
+(about 5 KB each, so per-task footprints stay near the table's 10 KB):
+
+1. ``fft_block`` on every block (first-dimension FFT) -- independent tasks.
+2. ``transpose`` of each block pair into a scratch grid.
+3. ``fft_block`` on every transposed block (second-dimension FFT).
+4. ``fft_combine`` twiddle/normalisation tasks, one per pair of blocks of a
+   row, each producing its own output block: longer tasks that pull the
+   average runtime (26 us) well above the median (14 us), as in Table I,
+   while remaining mutually independent (the final stage of a 2D FFT is
+   element-wise).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import KB
+from repro.trace.records import Direction
+from repro.workloads.base import KernelProfile, TraceBuilder, Workload, WorkloadSpec
+
+BLOCK_BYTES = 5 * KB
+
+SPEC = WorkloadSpec(
+    name="FFT",
+    domain="Signal Processing",
+    description="2D Fast Fourier Transform",
+    avg_data_kb=10,
+    min_runtime_us=13,
+    med_runtime_us=14,
+    avg_runtime_us=26,
+    decode_limit_ns=51,
+)
+
+KERNELS = {
+    "fft_block": KernelProfile("fft_block", runtime_us=13.5, jitter=0.04),
+    "transpose": KernelProfile("transpose", runtime_us=14.0, jitter=0.03),
+    "fft_combine": KernelProfile("fft_combine", runtime_us=95.0, jitter=0.05),
+}
+
+#: Number of row blocks one combine task gathers.  Pairwise combination keeps
+#: the long-task fraction near 15% of the trace, which is what pushes the
+#: average runtime to ~26 us while the median stays at ~14 us (Table I).
+COMBINE_FANIN = 2
+
+
+class FFTWorkload(Workload):
+    """Blocked 2D FFT on an ``N x N`` grid of blocks; ``scale`` is ``N``."""
+
+    spec = SPEC
+    default_scale = 24
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        n = scale
+        grid = [[builder.alloc(BLOCK_BYTES, name=f"X[{i}][{j}]") for j in range(n)]
+                for i in range(n)]
+        scratch = [[builder.alloc(BLOCK_BYTES, name=f"T[{i}][{j}]") for j in range(n)]
+                   for i in range(n)]
+        chunks_per_row = (n + COMBINE_FANIN - 1) // COMBINE_FANIN
+        output = [[builder.alloc(BLOCK_BYTES, name=f"OUT[{i}][{c}]")
+                   for c in range(chunks_per_row)] for i in range(n)]
+        builder.metadata["blocks_per_dim"] = n
+
+        # Stage 1: first-dimension FFT on every block.
+        for i in range(n):
+            for j in range(n):
+                builder.add_task(KERNELS["fft_block"],
+                                 [(grid[i][j], Direction.INOUT)], scalars=1)
+
+        # Stage 2: transpose into the scratch grid.
+        for i in range(n):
+            for j in range(n):
+                builder.add_task(KERNELS["transpose"],
+                                 [(grid[i][j], Direction.INPUT),
+                                  (scratch[j][i], Direction.OUTPUT)])
+
+        # Stage 3: second-dimension FFT on the transposed blocks.
+        for i in range(n):
+            for j in range(n):
+                builder.add_task(KERNELS["fft_block"],
+                                 [(scratch[i][j], Direction.INOUT)], scalars=1)
+
+        # Stage 4: element-wise twiddle/normalisation over pairs of blocks;
+        # each task produces its own output block, so the stage is fully
+        # parallel (no reduction chain).
+        for i in range(n):
+            row_blocks: List = list(scratch[i])
+            for chunk_index, start in enumerate(range(0, n, COMBINE_FANIN)):
+                chunk = row_blocks[start:start + COMBINE_FANIN]
+                operands = [(blk, Direction.INPUT) for blk in chunk]
+                operands.append((output[i][chunk_index], Direction.OUTPUT))
+                builder.add_task(KERNELS["fft_combine"], operands)

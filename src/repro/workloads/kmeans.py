@@ -1,0 +1,102 @@
+"""K-Means clustering workload (Table I row "KMeans").
+
+Each iteration of Lloyd's algorithm is decomposed into:
+
+1. ``assign`` tasks, one per data chunk: read the chunk and the current
+   centroid set, produce a partial-sum buffer (these are the ~59 us
+   median-length tasks);
+2. a tree of ``reduce`` tasks combining partial sums four at a time (the
+   shorter ~24 us tasks that set the minimum runtime);
+3. one ``update_centroids`` task producing the next centroid version, which
+   the next iteration's ``assign`` tasks read -- the serial point that limits
+   the benchmark's distant parallelism.
+
+Data sizes: 32 KB chunks + 4 KB centroid block + 2 KB partials give an
+average task footprint close to Table I's 38 KB.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import KB
+from repro.trace.records import Direction
+from repro.workloads.base import KernelProfile, TraceBuilder, Workload, WorkloadSpec
+
+CHUNK_BYTES = 32 * KB
+CENTROIDS_BYTES = 4 * KB
+PARTIAL_BYTES = 2 * KB
+
+SPEC = WorkloadSpec(
+    name="KMeans",
+    domain="Machine Learning",
+    description="K-Means clustering",
+    avg_data_kb=38,
+    min_runtime_us=24,
+    med_runtime_us=59,
+    avg_runtime_us=55,
+    decode_limit_ns=94,
+)
+
+KERNELS = {
+    "assign": KernelProfile("assign", runtime_us=60.0, jitter=0.05),
+    "reduce": KernelProfile("reduce", runtime_us=25.0, jitter=0.04),
+    "update_centroids": KernelProfile("update_centroids", runtime_us=30.0, jitter=0.04),
+}
+
+REDUCE_FANIN = 4
+
+
+class KMeansWorkload(Workload):
+    """Iterative K-Means over ``chunks`` data chunks.
+
+    ``scale`` is the number of iterations; the chunk count is configurable
+    through the constructor (default 384 chunks, enough concurrent ``assign``
+    tasks to feed 256 cores).
+    """
+
+    spec = SPEC
+    default_scale = 8
+
+    def __init__(self, chunks: int = 384):
+        self.chunks = chunks
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        iterations = scale
+        chunks = self.chunks
+        builder.metadata["iterations"] = iterations
+        builder.metadata["chunks"] = chunks
+
+        data = [builder.alloc(CHUNK_BYTES, name=f"chunk[{i}]") for i in range(chunks)]
+        centroids = builder.alloc(CENTROIDS_BYTES, name="centroids")
+        partials = [builder.alloc(PARTIAL_BYTES, name=f"partial[{i}]")
+                    for i in range(chunks)]
+
+        for iteration in range(iterations):
+            # Assignment phase: independent given the current centroid version.
+            for i in range(chunks):
+                builder.add_task(KERNELS["assign"],
+                                 [(data[i], Direction.INPUT),
+                                  (centroids, Direction.INPUT),
+                                  (partials[i], Direction.OUTPUT)],
+                                 scalars=1)
+            # Reduction tree over the partial sums.
+            level: List = list(partials)
+            while len(level) > 1:
+                next_level: List = []
+                for start in range(0, len(level), REDUCE_FANIN):
+                    group = level[start:start + REDUCE_FANIN]
+                    if len(group) == 1:
+                        next_level.append(group[0])
+                        continue
+                    target = group[0]
+                    operands = [(target, Direction.INOUT)]
+                    operands.extend((other, Direction.INPUT) for other in group[1:])
+                    builder.add_task(KERNELS["reduce"], operands)
+                    next_level.append(target)
+                level = next_level
+            # Centroid update closes the iteration.
+            builder.add_task(KERNELS["update_centroids"],
+                             [(level[0], Direction.INPUT),
+                              (centroids, Direction.INOUT)],
+                             scalars=1)

@@ -1,0 +1,99 @@
+"""K-Nearest-Neighbours workload (Table I row "Knn").
+
+The classification of a batch of query chunks against a partitioned training
+set decomposes into:
+
+1. ``distances`` tasks, one per (query chunk, training partition) pair:
+   compute the candidate neighbour list for that pair.  These dominate the
+   trace and run for ~110 us -- the paper notes that ~95% of Knn tasks run for
+   more than 100 us, which is what lets the software runtime scale to 128
+   cores on this benchmark (Figure 16).
+2. ``merge`` tasks per query chunk, combining the per-partition candidate
+   lists in a small tree (the short ~17 us tasks).
+
+Chunks are small (about 5 KB), keeping the average task footprint near the
+table's 10 KB.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import KB
+from repro.trace.records import Direction
+from repro.workloads.base import KernelProfile, TraceBuilder, Workload, WorkloadSpec
+
+QUERY_BYTES = 5 * KB
+TRAIN_BYTES = 5 * KB
+CANDIDATE_BYTES = 2 * KB
+
+SPEC = WorkloadSpec(
+    name="Knn",
+    domain="Pattern Recognition",
+    description="K-Nearest Neighbors",
+    avg_data_kb=10,
+    min_runtime_us=17,
+    med_runtime_us=107,
+    avg_runtime_us=109,
+    decode_limit_ns=66,
+)
+
+KERNELS = {
+    "distances": KernelProfile("distances", runtime_us=112.0, jitter=0.06),
+    "merge": KernelProfile("merge", runtime_us=18.0, jitter=0.05),
+}
+
+#: One merge task combines the candidate lists of up to 15 partitions
+#: (15 inputs + 1 inout = 16 operands, within the pipeline's 19-operand
+#: ceiling).  A wide fan-in keeps short merge tasks to ~6% of the trace, so
+#: ~95% of tasks run for more than 100 us as the paper reports.
+MERGE_FANIN = 15
+
+
+class KnnWorkload(Workload):
+    """K-nearest-neighbour search of query chunks against training partitions.
+
+    ``scale`` is the number of query chunks; the number of training partitions
+    is configurable through the constructor (default 16), so the trace has
+    roughly ``scale * partitions`` long distance tasks plus the merge trees.
+    """
+
+    spec = SPEC
+    default_scale = 192
+
+    def __init__(self, partitions: int = 16):
+        self.partitions = partitions
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        queries = scale
+        partitions = self.partitions
+        builder.metadata["query_chunks"] = queries
+        builder.metadata["train_partitions"] = partitions
+
+        train = [builder.alloc(TRAIN_BYTES, name=f"train[{p}]") for p in range(partitions)]
+        for q in range(queries):
+            query = builder.alloc(QUERY_BYTES, name=f"query[{q}]")
+            candidates: List = []
+            for p in range(partitions):
+                cand = builder.alloc(CANDIDATE_BYTES, name=f"cand[{q}][{p}]")
+                candidates.append(cand)
+                builder.add_task(KERNELS["distances"],
+                                 [(query, Direction.INPUT),
+                                  (train[p], Direction.INPUT),
+                                  (cand, Direction.OUTPUT)],
+                                 scalars=1)
+            # Merge tree per query chunk.
+            level = candidates
+            while len(level) > 1:
+                next_level: List = []
+                for start in range(0, len(level), MERGE_FANIN):
+                    group = level[start:start + MERGE_FANIN]
+                    if len(group) == 1:
+                        next_level.append(group[0])
+                        continue
+                    target = group[0]
+                    operands = [(target, Direction.INOUT)]
+                    operands.extend((other, Direction.INPUT) for other in group[1:])
+                    builder.add_task(KERNELS["merge"], operands)
+                    next_level.append(target)
+                level = next_level

@@ -1,0 +1,59 @@
+"""Blocked matrix multiplication workload (Table I row "MatMul").
+
+``C[i][j] += A[i][k] * B[k][j]`` over an ``N x N`` matrix of 16 KB blocks.
+Every task is an ``sgemm`` with two input blocks and one inout block
+(48 KB of data per task, matching Table I), a fixed 23 us runtime, and the
+only dependencies are the accumulation chains on each ``C[i][j]`` (length
+``N``), giving a perfectly regular graph with ``N^2`` independent chains --
+the highest-parallelism workload of the set.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import KB
+from repro.trace.records import Direction
+from repro.workloads.base import KernelProfile, TraceBuilder, Workload, WorkloadSpec
+
+BLOCK_BYTES = 16 * KB
+
+SPEC = WorkloadSpec(
+    name="MatMul",
+    domain="Math. kernel",
+    description="Blocked matrix multiplication",
+    avg_data_kb=48,
+    min_runtime_us=23,
+    med_runtime_us=23,
+    avg_runtime_us=23,
+    decode_limit_ns=90,
+)
+
+SGEMM = KernelProfile("sgemm", runtime_us=23.0, jitter=0.01)
+
+
+class MatMulWorkload(Workload):
+    """Blocked matrix multiply of ``N x N`` block matrices.
+
+    ``scale`` is ``N``; the trace has ``N^3`` tasks arranged as ``N^2``
+    independent accumulation chains of length ``N``.
+    """
+
+    spec = SPEC
+    default_scale = 14
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        n = scale
+        a = [[builder.alloc(BLOCK_BYTES, name=f"A[{i}][{k}]") for k in range(n)]
+             for i in range(n)]
+        b = [[builder.alloc(BLOCK_BYTES, name=f"B[{k}][{j}]") for j in range(n)]
+             for k in range(n)]
+        c = [[builder.alloc(BLOCK_BYTES, name=f"C[{i}][{j}]") for j in range(n)]
+             for i in range(n)]
+        builder.metadata["blocks_per_dim"] = n
+        builder.metadata["block_bytes"] = BLOCK_BYTES
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    builder.add_task(SGEMM,
+                                     [(a[i][k], Direction.INPUT),
+                                      (b[k][j], Direction.INPUT),
+                                      (c[i][j], Direction.INOUT)])

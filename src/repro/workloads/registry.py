@@ -1,0 +1,112 @@
+"""Registry of the nine benchmark workloads (Table I).
+
+``TABLE1`` maps each application name to its published characteristics, and
+``get_workload`` / ``generate`` give access to the corresponding trace
+generators.  ``table1_rows`` renders the catalogue together with the
+statistics *measured on the generated traces*, which is what the Table I
+reproduction bench prints and checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import WorkloadError
+from repro.trace.records import TaskTrace
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.cholesky import CholeskyWorkload
+from repro.workloads.fft import FFTWorkload
+from repro.workloads.h264 import H264Workload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.knn import KnnWorkload
+from repro.workloads.matmul import MatMulWorkload
+from repro.workloads.pbpi import PBPIWorkload
+from repro.workloads.specfem import SPECFEMWorkload
+from repro.workloads.stap import STAPWorkload
+
+#: Workload classes in the order Table I lists them.
+_WORKLOAD_CLASSES = (
+    CholeskyWorkload,
+    MatMulWorkload,
+    FFTWorkload,
+    H264Workload,
+    KMeansWorkload,
+    KnnWorkload,
+    PBPIWorkload,
+    SPECFEMWorkload,
+    STAPWorkload,
+)
+
+#: Table I: application name -> published characteristics.
+TABLE1: Dict[str, WorkloadSpec] = {cls.spec.name: cls.spec for cls in _WORKLOAD_CLASSES}
+
+_WORKLOADS_BY_NAME: Dict[str, type] = {cls.spec.name: cls for cls in _WORKLOAD_CLASSES}
+
+
+def all_workload_names() -> List[str]:
+    """Names of the nine benchmarks, in Table I order."""
+    return [cls.spec.name for cls in _WORKLOAD_CLASSES]
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Return the Table I row for ``name`` (case-insensitive)."""
+    for spec_name, spec in TABLE1.items():
+        if spec_name.lower() == name.lower():
+            return spec
+    raise WorkloadError(f"unknown workload {name!r}; known: {all_workload_names()}")
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate the generator for ``name`` (case-insensitive).
+
+    Extra keyword arguments are forwarded to the generator constructor
+    (e.g. ``H264Workload(mb_width=..., mb_height=...)``).
+    """
+    for spec_name, cls in _WORKLOADS_BY_NAME.items():
+        if spec_name.lower() == name.lower():
+            return cls(**kwargs)
+    raise WorkloadError(f"unknown workload {name!r}; known: {all_workload_names()}")
+
+
+def generate(name: str, scale: Optional[int] = None, seed: int = 0, **kwargs) -> TaskTrace:
+    """Generate a trace for workload ``name``.
+
+    Args:
+        name: Application name (Table I spelling, case-insensitive).
+        scale: Problem-size knob; ``None`` uses the workload's default.
+        seed: Seed for runtime jitter.
+        **kwargs: Extra generator-constructor arguments.
+    """
+    return get_workload(name, **kwargs).generate(scale=scale, seed=seed)
+
+
+def table1_rows(scale_overrides: Optional[Dict[str, int]] = None,
+                seed: int = 0) -> List[Dict[str, object]]:
+    """Reproduce Table I: published values alongside measured trace statistics.
+
+    Returns one dictionary per benchmark with the published ``spec`` values and
+    the ``measured`` statistics of a generated trace (average data size in KB,
+    min/median/average runtime in microseconds, and the 256-core decode-rate
+    limit derived from the measured minimum runtime).
+    """
+    scale_overrides = scale_overrides or {}
+    rows: List[Dict[str, object]] = []
+    for name in all_workload_names():
+        workload = get_workload(name)
+        trace = workload.generate(scale=scale_overrides.get(name), seed=seed)
+        minimum, median, mean = trace.runtime_stats_us()
+        rows.append({
+            "name": name,
+            "class": workload.spec.domain,
+            "description": workload.spec.description,
+            "tasks": len(trace),
+            "spec": workload.spec,
+            "measured": {
+                "avg_data_kb": trace.average_data_kb(),
+                "min_runtime_us": minimum,
+                "med_runtime_us": median,
+                "avg_runtime_us": mean,
+                "decode_limit_ns": minimum * 1000.0 / 256,
+            },
+        })
+    return rows

@@ -1,0 +1,64 @@
+"""Tests for the CLI and the optional data-transfer accounting extension."""
+
+import pytest
+
+from repro.backend.system import TaskSuperscalarSystem
+from repro.cli import main
+from repro.common.config import default_table2_config
+from repro.trace.io import read_trace
+from repro.workloads import registry
+
+
+class TestCLI:
+    def test_list_catalogue(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.all_workload_names():
+            assert name in out
+
+    def test_simulate_hardware(self, capsys):
+        assert main(["simulate", "--workload", "Cholesky", "--scale", "6",
+                     "--cores", "8", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "task superscalar" in out and "speedup" in out
+
+    def test_simulate_compare(self, capsys):
+        assert main(["simulate", "--workload", "MatMul", "--scale", "4",
+                     "--cores", "8", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "task superscalar" in out and "software runtime" in out
+
+    def test_trace_export(self, tmp_path, capsys):
+        path = tmp_path / "fft.jsonl"
+        assert main(["trace", "--workload", "FFT", "--scale", "4",
+                     "--output", str(path)]) == 0
+        trace = read_trace(path)
+        assert len(trace) > 0
+        assert trace.name == "FFT"
+
+    @pytest.mark.parametrize("artefact", ["table1", "table2", "fig1", "fig3"])
+    def test_experiment_artefacts(self, artefact, capsys):
+        assert main(["experiment", artefact]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "Quicksort"])
+
+
+class TestDataTransferExtension:
+    def test_transfer_accounting_slows_but_completes(self):
+        trace = registry.generate("MatMul", scale=4)
+        plain_config = default_table2_config(8)
+        plain = TaskSuperscalarSystem(plain_config).run(trace, validate=True)
+        transfer_config = default_table2_config(8)
+        transfer_config.backend.model_data_transfers = True
+        modelled = TaskSuperscalarSystem(transfer_config).run(trace, validate=True)
+        assert modelled.tasks_completed == len(trace)
+        assert modelled.makespan_cycles >= plain.makespan_cycles
+        assert modelled.stats.get("scheduler.transfer_cycles", 0.0) > 0
+
+    def test_transfer_model_disabled_by_default(self):
+        system = TaskSuperscalarSystem(default_table2_config(4))
+        assert system.memory_hierarchy is None
+        assert system.scheduler.runtime_extension is None

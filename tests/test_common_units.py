@@ -1,0 +1,64 @@
+"""Tests for time/size unit conversions."""
+
+import pytest
+
+from repro.common.units import (
+    CLOCK_GHZ,
+    KB,
+    MB,
+    cycles_to_ns,
+    cycles_to_us,
+    human_bytes,
+    ns_to_cycles,
+    us_to_cycles,
+)
+
+
+class TestTimeConversions:
+    def test_default_clock_is_paper_frequency(self):
+        assert CLOCK_GHZ == pytest.approx(3.2)
+
+    def test_ns_to_cycles_at_default_clock(self):
+        # The 58 ns decode target of Section II is ~186 cycles at 3.2 GHz.
+        assert ns_to_cycles(58) == 186
+
+    def test_us_to_cycles_matmul_task(self):
+        # A 23 us MatMul task is 73600 cycles.
+        assert us_to_cycles(23) == 73_600
+
+    def test_roundtrip_is_close(self):
+        # Round-tripping cannot be more accurate than half a cycle (~0.16 ns).
+        for nanoseconds in (10, 58, 700, 2500):
+            cycles = ns_to_cycles(nanoseconds)
+            assert cycles_to_ns(cycles) == pytest.approx(nanoseconds, abs=0.2)
+
+    def test_cycles_to_us(self):
+        assert cycles_to_us(3_200_000) == pytest.approx(1000.0)
+
+    def test_custom_clock(self):
+        assert ns_to_cycles(100, clock_ghz=1.0) == 100
+        assert cycles_to_ns(100, clock_ghz=2.0) == pytest.approx(50.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(-1)
+        with pytest.raises(ValueError):
+            cycles_to_ns(-5)
+
+
+class TestSizes:
+    def test_binary_units(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+
+    def test_human_bytes_exact_units(self):
+        assert human_bytes(512 * KB) == "512 KB"
+        assert human_bytes(6 * MB) == "6 MB"
+        assert human_bytes(100) == "100 B"
+
+    def test_human_bytes_fractional(self):
+        assert human_bytes(1536 * KB + 1) == "1.5 MB"
+
+    def test_human_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)

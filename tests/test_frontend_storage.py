@@ -1,0 +1,225 @@
+"""Tests for the TRS block allocator, ORT renaming table and OVT version table."""
+
+import pytest
+
+from repro.common.errors import AllocationError, CapacityError
+from repro.common.ids import OperandID
+from repro.frontend.storage import (
+    BlockStorage,
+    RenameBufferAllocator,
+    RenamingEntry,
+    RenamingTable,
+    VersionTable,
+)
+
+
+class TestBlockStorage:
+    def test_inode_layout_block_counts(self):
+        storage = BlockStorage(num_blocks=100)
+        # Figure 11: main block holds 4 operands, indirect blocks hold 5 each.
+        assert storage.blocks_for(0) == 1
+        assert storage.blocks_for(4) == 1
+        assert storage.blocks_for(5) == 2
+        assert storage.blocks_for(9) == 2
+        assert storage.blocks_for(10) == 3
+        assert storage.blocks_for(14) == 3
+        assert storage.blocks_for(15) == 4
+        assert storage.blocks_for(19) == 4
+
+    def test_max_operands_is_19(self):
+        storage = BlockStorage(num_blocks=10)
+        assert storage.max_operands == 19
+        with pytest.raises(CapacityError):
+            storage.blocks_for(20)
+
+    def test_allocate_and_free_roundtrip(self):
+        storage = BlockStorage(num_blocks=8)
+        main, indirect = storage.allocate(7)   # 2 blocks
+        assert storage.used_blocks == 2
+        assert storage.free_blocks == 6
+        storage.free(main, indirect)
+        assert storage.used_blocks == 0
+        assert storage.free_blocks == 8
+
+    def test_allocation_exhaustion(self):
+        storage = BlockStorage(num_blocks=3)
+        storage.allocate(4)
+        storage.allocate(4)
+        storage.allocate(4)
+        assert not storage.can_allocate(1)
+        with pytest.raises(AllocationError):
+            storage.allocate(1)
+
+    def test_blocks_are_not_double_allocated(self):
+        storage = BlockStorage(num_blocks=16)
+        seen = set()
+        allocations = []
+        for _ in range(8):
+            main, indirect = storage.allocate(6)
+            allocations.append((main, indirect))
+            for block in [main, *indirect]:
+                assert block not in seen
+                seen.add(block)
+        for main, indirect in allocations:
+            storage.free(main, indirect)
+        assert storage.free_blocks == 16
+
+    def test_free_rejects_out_of_range(self):
+        storage = BlockStorage(num_blocks=4)
+        with pytest.raises(AllocationError):
+            storage.free(10, [])
+
+    def test_sram_buffer_refills(self):
+        storage = BlockStorage(num_blocks=256, sram_buffer_entries=4)
+        for _ in range(16):
+            storage.allocate(4)
+        assert storage.sram_refills > 0
+
+    def test_fragmentation_accounting(self):
+        storage = BlockStorage(num_blocks=64)
+        storage.allocate(5)  # 2 blocks with 9 operand slots for 5 operands
+        assert storage.internal_fragmentation_bytes > 0
+
+    def test_utilization(self):
+        storage = BlockStorage(num_blocks=10)
+        assert storage.utilization() == 0.0
+        storage.allocate(4)
+        assert storage.utilization() == pytest.approx(0.1)
+
+
+def entry(address, trs=0, slot=0, index=0, version=0, writer=True, size=64):
+    return RenamingEntry(address=address, size=size,
+                         last_user=OperandID(trs, slot, index),
+                         version=version, last_user_is_writer=writer)
+
+
+class TestRenamingTable:
+    def test_lookup_hit_and_miss(self):
+        table = RenamingTable(num_sets=8, assoc=2)
+        assert table.lookup(0x1000) is None
+        table.insert(entry(0x1000))
+        found = table.lookup(0x1000)
+        assert found is not None and found.address == 0x1000
+        assert table.hits == 1 and table.misses == 1
+
+    def test_update_existing_entry_does_not_grow(self):
+        table = RenamingTable(num_sets=4, assoc=2)
+        table.insert(entry(0x1000, version=0))
+        table.insert(entry(0x1000, version=1))
+        assert table.occupancy == 1
+        assert table.peek(0x1000).version == 1
+
+    def test_overflow_is_allowed_but_flagged(self):
+        table = RenamingTable(num_sets=1, assoc=2)
+        table.insert(entry(0x1000))
+        table.insert(entry(0x2000))
+        assert table.is_pressured()
+        table.insert(entry(0x3000))
+        assert table.overflow_insertions == 1
+        assert table.occupancy == 3
+
+    def test_pressure_clears_after_removal(self):
+        table = RenamingTable(num_sets=1, assoc=2)
+        table.insert(entry(0x1000, version=1))
+        table.insert(entry(0x2000, version=2))
+        assert table.is_pressured()
+        assert table.remove(0x1000, version=1)
+        assert not table.is_pressured()
+
+    def test_versioned_removal_ignores_stale_version(self):
+        table = RenamingTable(num_sets=2, assoc=4)
+        table.insert(entry(0x1000, version=3))
+        assert not table.remove(0x1000, version=2)
+        assert table.peek(0x1000) is not None
+        assert table.remove(0x1000, version=3)
+        assert table.peek(0x1000) is None
+
+    def test_remove_missing_returns_false(self):
+        table = RenamingTable(num_sets=2, assoc=4)
+        assert not table.remove(0xdead)
+
+    def test_aligned_addresses_spread_across_sets(self):
+        table = RenamingTable(num_sets=64, assoc=16)
+        sets = {table.set_index(0x1000_0000 + i * 16 * 1024) for i in range(256)}
+        assert len(sets) > 32
+
+    def test_capacity_property(self):
+        assert RenamingTable(num_sets=8, assoc=16).capacity == 128
+
+
+class TestVersionTable:
+    def test_writer_version_lifecycle(self):
+        table = VersionTable(capacity=16)
+        producer = OperandID(0, 0, 0)
+        version = table.create(0x1000, 64, producer=producer, renamed=True)
+        assert version.usage_count == 1
+        assert version.renamed_address is not None
+        assert table.version_of(producer) == version.version_id
+        dead = table.release_use(producer)
+        assert dead is version
+        table.remove(version.version_id)
+        assert table.live_versions == 0
+
+    def test_reader_usage_counting(self):
+        table = VersionTable(capacity=16)
+        producer = OperandID(0, 0, 0)
+        version = table.create(0x1000, 64, producer=producer, renamed=False)
+        readers = [OperandID(0, i + 1, 0) for i in range(3)]
+        for reader in readers:
+            table.add_user(version.version_id, reader)
+        assert version.usage_count == 4
+        assert table.release_use(producer) is None
+        assert table.release_use(readers[0]) is None
+        assert table.release_use(readers[1]) is None
+        assert table.release_use(readers[2]) is version
+
+    def test_release_unknown_operand_is_noop(self):
+        table = VersionTable(capacity=4)
+        assert table.release_use(OperandID(0, 9, 9)) is None
+
+    def test_external_version_ids(self):
+        table = VersionTable(capacity=4)
+        version = table.create(0x1000, 64, producer=OperandID(0, 0, 0), renamed=False,
+                               version_id=42)
+        assert version.version_id == 42
+        assert table.find(42) is version
+        with pytest.raises(AllocationError):
+            table.create(0x2000, 64, producer=None, renamed=False, version_id=42)
+
+    def test_overflow_counted_not_fatal(self):
+        table = VersionTable(capacity=1)
+        table.create(0x1000, 64, producer=None, renamed=False)
+        assert table.is_pressured()
+        table.create(0x2000, 64, producer=None, renamed=False)
+        assert table.overflow_creations == 1
+        assert table.live_versions == 2
+
+    def test_negative_usage_detected(self):
+        table = VersionTable(capacity=4)
+        producer = OperandID(0, 0, 0)
+        version = table.create(0x1000, 64, producer=producer, renamed=False)
+        assert table.release_use(producer) is version
+        # Releasing again is a no-op because the operand mapping is gone.
+        assert table.release_use(producer) is None
+
+    def test_find_none(self):
+        table = VersionTable(capacity=4)
+        assert table.find(None) is None
+        assert table.find(123) is None
+
+
+class TestRenameBufferAllocator:
+    def test_power_of_two_buckets(self):
+        allocator = RenameBufferAllocator(min_bucket_bytes=4096)
+        assert allocator.bucket_size(100) == 4096
+        assert allocator.bucket_size(4096) == 4096
+        assert allocator.bucket_size(5000) == 8192
+        assert allocator.bucket_size(70_000) == 131_072
+
+    def test_allocations_do_not_overlap(self):
+        allocator = RenameBufferAllocator()
+        first = allocator.allocate(10_000)
+        second = allocator.allocate(10_000)
+        assert second >= first + allocator.bucket_size(10_000)
+        assert allocator.allocated_buffers == 2
+        assert allocator.allocated_bytes == 2 * allocator.bucket_size(10_000)

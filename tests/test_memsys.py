@@ -1,0 +1,203 @@
+"""Tests for the memory-hierarchy substrate: caches, coherence, ring, DRAM."""
+
+import pytest
+
+from repro.common.config import CMPConfig, InterconnectConfig, MemoryConfig
+from repro.common.errors import ConfigurationError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.coherence import CoherenceState, DirectoryMSI
+from repro.memsys.dram import MemoryController
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.interconnect import TwoLevelRing
+
+from tests.conftest import make_operand, make_task
+
+
+class TestCache:
+    def test_l1_geometry_from_table2(self):
+        l1 = SetAssociativeCache(64 * 1024, 4, 64, latency_cycles=3)
+        assert l1.num_sets == 256
+        assert l1.fits(48 * 1024)       # MatMul working set fits in L1
+        assert not l1.fits(770 * 1024)  # SPECFEM's does not
+
+    def test_hit_after_miss(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(2 * 64, 2, 64)  # one set, two ways
+        cache.access(0)
+        cache.access(64 * 1)          # second line, same set
+        cache.access(0)               # touch line 0 -> line 1 becomes LRU
+        cache.access(64 * 2)          # evicts line 1
+        assert cache.probe(0)
+        assert not cache.probe(64 * 1)
+        assert cache.stats.evictions == 1
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = SetAssociativeCache(2 * 64, 2, 64)
+        cache.access(0, write=True)
+        cache.access(64, write=False)
+        cache.access(128, write=False)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_access_range_touches_every_line(self):
+        cache = SetAssociativeCache(64 * 1024, 4, 64)
+        hits, misses = cache.access_range(0x1000, 1024)
+        assert misses == 16 and hits == 0
+        hits, misses = cache.access_range(0x1000, 1024)
+        assert hits == 16 and misses == 0
+
+    def test_invalidate_and_flush(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.access(0, write=True)
+        assert cache.invalidate(0)
+        assert not cache.invalidate(0)
+        cache.access(64, write=True)
+        assert cache.flush() == 1
+        assert cache.occupancy_lines == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1000, 3, 64)
+
+
+class TestDirectory:
+    def test_read_then_write_transitions(self):
+        directory = DirectoryMSI(num_cores=4)
+        directory.read(0, 0x1000)
+        assert directory.state_of(0x1000) is CoherenceState.SHARED
+        traffic = directory.write(1, 0x1000)
+        assert directory.state_of(0x1000) is CoherenceState.MODIFIED
+        assert traffic.invalidations == 1
+        assert directory.sharers_of(0x1000) == {1}
+
+    def test_read_of_modified_line_downgrades_owner(self):
+        directory = DirectoryMSI(num_cores=4)
+        directory.write(0, 0x2000)
+        traffic = directory.read(1, 0x2000)
+        assert traffic.downgrades == 1
+        assert directory.state_of(0x2000) is CoherenceState.SHARED
+        assert directory.sharers_of(0x2000) == {0, 1}
+
+    def test_write_invalidates_all_sharers(self):
+        directory = DirectoryMSI(num_cores=8)
+        for core in range(4):
+            directory.read(core, 0x3000)
+        traffic = directory.write(7, 0x3000)
+        assert traffic.invalidations == 4
+
+    def test_repeated_access_by_owner_is_silent(self):
+        directory = DirectoryMSI(num_cores=2)
+        directory.write(0, 0x4000)
+        traffic = directory.write(0, 0x4000)
+        assert traffic.total_messages == 0
+
+    def test_eviction_clears_state(self):
+        directory = DirectoryMSI(num_cores=2)
+        directory.write(0, 0x5000)
+        directory.evict(0, 0x5000)
+        assert directory.state_of(0x5000) is CoherenceState.INVALID
+
+    def test_core_bounds_checked(self):
+        directory = DirectoryMSI(num_cores=2)
+        with pytest.raises(ConfigurationError):
+            directory.read(5, 0x1000)
+
+
+class TestRing:
+    def _ring(self, cores=64):
+        return TwoLevelRing(CMPConfig(num_cores=cores), InterconnectConfig())
+
+    def test_ring_of_core(self):
+        ring = self._ring(64)
+        assert ring.num_local_rings == 8
+        assert ring.ring_of_core(0) == 0
+        assert ring.ring_of_core(63) == 7
+        with pytest.raises(ConfigurationError):
+            ring.ring_of_core(64)
+
+    def test_nearby_l2_bank_cheaper_than_distant_bank(self):
+        ring = self._ring(64)
+        near = ring.hops(("core", 0), ("l2", 0))
+        far = ring.hops(("core", 0), ("l2", 16))
+        assert near < far
+        assert near > 0
+
+    def test_transfer_serialisation_uses_link_width(self):
+        ring = self._ring()
+        estimate = ring.transfer(("l2", 0), ("core", 0), 64)
+        assert estimate.serialization_cycles == 4   # 64 bytes at 16 B/cycle
+        assert estimate.total_cycles > estimate.serialization_cycles
+
+    def test_traffic_accounting(self):
+        ring = self._ring()
+        ring.transfer(("l2", 0), ("core", 0), 128)
+        ring.transfer(("mc", 0), ("l2", 3), 256)
+        assert ring.total_bytes() == 384
+
+    def test_unknown_endpoint_rejected(self):
+        ring = self._ring()
+        with pytest.raises(ConfigurationError):
+            ring.hops(("gpu", 0), ("core", 0))
+
+
+class TestDRAM:
+    def test_channel_interleaving_balances_load(self):
+        controller = MemoryController(MemoryConfig())
+        for i in range(256):
+            controller.access(i * 64, 64)
+        assert controller.load_imbalance() == pytest.approx(1.0, rel=0.05)
+        assert controller.total_bytes() == 256 * 64
+
+    def test_access_estimate(self):
+        controller = MemoryController(MemoryConfig(access_latency_cycles=100,
+                                                   channel_bandwidth_bytes_per_cycle=4.0))
+        estimate = controller.access(0, 64)
+        assert estimate.latency_cycles == 100
+        assert estimate.serialization_cycles == 16
+        assert estimate.total_cycles == 116
+
+    def test_eight_channels_by_default(self):
+        controller = MemoryController(MemoryConfig())
+        assert len(controller.channels) == 8
+
+
+class TestHierarchy:
+    def _hierarchy(self, cores=4):
+        return MemoryHierarchy(CMPConfig(num_cores=cores))
+
+    def test_first_touch_misses_then_hits(self):
+        hierarchy = self._hierarchy()
+        task = make_task(0, [make_operand(0x10000, size=4096)])
+        first = hierarchy.estimate_task_transfer(task, core=0)
+        second = hierarchy.estimate_task_transfer(task, core=0)
+        assert first.bytes_from_l2 > 0
+        assert first.transfer_cycles > 0
+        assert second.bytes_from_l2 == 0
+        assert second.transfer_cycles == 0
+
+    def test_producer_consumer_on_different_cores_generates_coherence(self):
+        hierarchy = self._hierarchy()
+        from repro.trace.records import Direction
+        producer = make_task(0, [make_operand(0x20000, size=1024,
+                                              direction=Direction.OUTPUT)])
+        consumer = make_task(1, [make_operand(0x20000, size=1024,
+                                              direction=Direction.INPUT)])
+        hierarchy.estimate_task_transfer(producer, core=0)
+        estimate = hierarchy.estimate_task_transfer(consumer, core=1)
+        assert estimate.coherence_messages > 0
+
+    def test_l1_fit_check_matches_section2(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.operand_fits_l1(48 * 1024)
+        assert not hierarchy.operand_fits_l1(128 * 1024)
+
+    def test_core_bounds(self):
+        hierarchy = self._hierarchy(cores=2)
+        task = make_task(0, [make_operand(0x10000, size=64)])
+        with pytest.raises(ConfigurationError):
+            hierarchy.estimate_task_transfer(task, core=5)

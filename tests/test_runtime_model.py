@@ -1,0 +1,191 @@
+"""Tests for the StarSs-like programming model: memory, annotations, recorder."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.runtime.annotations import task
+from repro.runtime.memory import AddressSpace, MemoryObject
+from repro.runtime.recorder import DEFAULT_TASK_RUNTIME_CYCLES, TaskProgram, current_program
+from repro.trace.records import Direction
+
+
+class TestAddressSpace:
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace()
+        objects = [space.alloc(1000) for _ in range(20)]
+        for i, first in enumerate(objects):
+            for second in objects[i + 1:]:
+                assert not first.overlaps(second)
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=64)
+        a = space.alloc(10)
+        b = space.alloc(10)
+        assert a.address % 64 == 0
+        assert b.address % 64 == 0
+        assert b.address - a.address == 64
+
+    def test_deterministic_addresses(self):
+        first = [AddressSpace().alloc(128).address for _ in range(1)]
+        second = [AddressSpace().alloc(128).address for _ in range(1)]
+        assert first == second
+
+    def test_lookup_by_base_address(self):
+        space = AddressSpace()
+        obj = space.alloc(256, name="A")
+        assert space.lookup(obj.address) is obj
+        with pytest.raises(KeyError):
+            space.lookup(obj.address + 1)
+
+    def test_alloc_array_names(self):
+        space = AddressSpace()
+        blocks = space.alloc_array(3, 64, name="blk")
+        assert [b.name for b in blocks] == ["blk[0]", "blk[1]", "blk[2]"]
+        assert len(space) == 3
+
+    def test_invalid_sizes(self):
+        space = AddressSpace()
+        with pytest.raises(WorkloadError):
+            space.alloc(0)
+        with pytest.raises(WorkloadError):
+            MemoryObject(address=0, size=0)
+
+
+class TestAnnotations:
+    def test_spec_captures_directions(self):
+        @task(a="input", b="inout")
+        def kernel(a, b, n):
+            return n
+
+        spec = kernel.spec
+        assert spec.name == "kernel"
+        assert spec.direction_of("a") is Direction.INPUT
+        assert spec.direction_of("b") is Direction.INOUT
+        assert spec.direction_of("n") is None
+        assert spec.num_memory_operands == 2
+
+    def test_direction_aliases(self):
+        @task(a="in", b="out")
+        def kernel(a, b):
+            pass
+
+        assert kernel.spec.direction_of("a") is Direction.INPUT
+        assert kernel.spec.direction_of("b") is Direction.OUTPUT
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(WorkloadError):
+            @task(missing="input")
+            def kernel(a):
+                pass
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(WorkloadError):
+            @task(a="sideways")
+            def kernel(a):
+                pass
+
+    def test_direct_call_outside_program_executes_body(self):
+        @task(a="inout")
+        def bump(a):
+            a.data += 1
+            return a.data
+
+        obj = MemoryObject(address=0x1000, size=8, data=1)
+        assert bump(obj) == 2
+        assert current_program() is None
+
+
+class TestTaskProgram:
+    def _kernels(self):
+        @task(src="input", dst="output")
+        def copy(src, dst):
+            dst.data = list(src.data)
+
+        @task(buf="inout")
+        def double(buf, factor):
+            buf.data = [x * factor for x in buf.data]
+
+        return copy, double
+
+    def test_records_tasks_in_order(self):
+        copy, double = self._kernels()
+        space = AddressSpace()
+        src = space.alloc(64, data=[1, 2, 3])
+        dst = space.alloc(64, data=None)
+        with TaskProgram("prog") as program:
+            copy(src, dst)
+            double(dst, 2)
+        assert len(program) == 2
+        trace = program.trace()
+        assert [t.kernel for t in trace] == ["copy", "double"]
+        first, second = trace
+        assert first.operands[0].direction is Direction.INPUT
+        assert first.operands[1].direction is Direction.OUTPUT
+        assert second.operands[0].direction is Direction.INOUT
+        assert second.operands[1].is_scalar
+
+    def test_default_runtime_model(self):
+        copy, _ = self._kernels()
+        space = AddressSpace()
+        with TaskProgram("prog") as program:
+            copy(space.alloc(64), space.alloc(64))
+        assert program.records[0].runtime_cycles == DEFAULT_TASK_RUNTIME_CYCLES
+
+    def test_custom_runtime_model_receives_data_size(self):
+        copy, _ = self._kernels()
+        space = AddressSpace()
+        seen = {}
+
+        def model(kernel, data_bytes, operands):
+            seen[kernel] = data_bytes
+            return 42
+
+        with TaskProgram("prog", runtime_model=model) as program:
+            copy(space.alloc(100), space.alloc(200))
+        assert program.records[0].runtime_cycles == 42
+        assert seen["copy"] == 300
+
+    def test_eager_execution_returns_value(self):
+        _, double = self._kernels()
+        space = AddressSpace()
+        buf = space.alloc(64, data=[1, 2])
+        with TaskProgram("prog", execute_eagerly=True) as program:
+            double(buf, 3)
+        assert buf.data == [3, 6]
+        assert len(program) == 1
+
+    def test_memory_operand_must_be_memory_object(self):
+        copy, _ = self._kernels()
+        with TaskProgram("prog"):
+            with pytest.raises(WorkloadError):
+                copy([1, 2, 3], MemoryObject(0x1000, 64))
+
+    def test_missing_and_duplicate_arguments(self):
+        copy, _ = self._kernels()
+        space = AddressSpace()
+        src, dst = space.alloc(64), space.alloc(64)
+        with TaskProgram("prog"):
+            with pytest.raises(WorkloadError):
+                copy(src)
+            with pytest.raises(WorkloadError):
+                copy(src, dst, dst=dst)
+
+    def test_nested_programs_restore_outer(self):
+        copy, _ = self._kernels()
+        space = AddressSpace()
+        with TaskProgram("outer") as outer:
+            copy(space.alloc(64), space.alloc(64))
+            with TaskProgram("inner") as inner:
+                copy(space.alloc(64), space.alloc(64))
+            copy(space.alloc(64), space.alloc(64))
+        assert len(outer) == 2
+        assert len(inner) == 1
+        assert current_program() is None
+
+    def test_unannotated_function_rejected(self):
+        def plain(a):
+            return a
+
+        with TaskProgram("prog") as program:
+            with pytest.raises(WorkloadError):
+                program.submit(plain, 1)

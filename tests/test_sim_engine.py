@@ -1,0 +1,109 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationLimitExceeded
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(30, order.append, "c")
+        engine.schedule(10, order.append, "a")
+        engine.schedule(20, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 30
+
+    def test_same_time_events_are_fifo(self):
+        engine = Engine()
+        order = []
+        for label in "abcde":
+            engine.schedule(5, order.append, label)
+        engine.run()
+        assert order == list("abcde")
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(100, seen.append, 1)
+        engine.run()
+        assert engine.now == 100 and seen == [1]
+
+    def test_cannot_schedule_into_past(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule(-1, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        times = []
+
+        def first():
+            times.append(engine.now)
+            engine.schedule(7, second)
+
+        def second():
+            times.append(engine.now)
+
+        engine.schedule(3, first)
+        engine.run()
+        assert times == [3, 10]
+
+    def test_cancellation(self):
+        engine = Engine()
+        seen = []
+        event = engine.schedule(10, seen.append, "cancelled")
+        engine.schedule(5, seen.append, "kept")
+        event.cancel()
+        engine.run()
+        assert seen == ["kept"]
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, seen.append, "early")
+        engine.schedule(100, seen.append, "late")
+        engine.run(until=50)
+        assert seen == ["early"]
+        assert engine.now == 50
+        engine.run()
+        assert seen == ["early", "late"]
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_max_events_guard(self):
+        engine = Engine(max_events=10)
+
+        def reschedule():
+            engine.schedule(1, reschedule)
+
+        engine.schedule(1, reschedule)
+        with pytest.raises(SimulationLimitExceeded):
+            engine.run()
+
+    def test_max_time_guard(self):
+        engine = Engine(max_time=100)
+        engine.schedule(200, lambda: None)
+        with pytest.raises(SimulationLimitExceeded):
+            engine.run()
+
+    def test_run_empty_engine_with_until_advances_clock(self):
+        engine = Engine()
+        engine.run(until=42)
+        assert engine.now == 42

@@ -1,0 +1,136 @@
+"""Tests for PacketProcessor serialisation, stalling and statistics."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.module import PacketProcessor, SimModule
+from repro.sim.stats import Accumulator, Histogram, StatsCollector
+
+
+class RecordingProcessor(PacketProcessor):
+    """A processor that records (packet, completion time) pairs."""
+
+    def __init__(self, engine, name="proc", per_packet=10):
+        super().__init__(engine, name)
+        self.per_packet = per_packet
+        self.handled = []
+
+    def service_time(self, packet):
+        return self.per_packet
+
+    def handle(self, packet):
+        self.handled.append((packet, self.now))
+
+
+class TestPacketProcessor:
+    def test_packets_are_serialised(self):
+        engine = Engine()
+        proc = RecordingProcessor(engine, per_packet=10)
+        for i in range(3):
+            proc.receive(i)
+        engine.run()
+        # One at a time: completions at 10, 20, 30.
+        assert [time for _p, time in proc.handled] == [10, 20, 30]
+        assert [p for p, _t in proc.handled] == [0, 1, 2]
+        assert proc.busy_cycles == 30
+
+    def test_send_applies_latency(self):
+        engine = Engine()
+        sender = SimModule(engine, "sender")
+        proc = RecordingProcessor(engine, per_packet=5)
+        sender.send(proc, "hello", latency=20)
+        engine.run()
+        assert proc.handled == [("hello", 25)]
+
+    def test_stall_blocks_service_until_unstalled(self):
+        engine = Engine()
+        proc = RecordingProcessor(engine, per_packet=10)
+        proc.stall()
+        proc.receive("queued")
+        engine.run()
+        assert proc.handled == []
+        assert proc.queue_length == 1
+        proc.unstall()
+        engine.run()
+        assert [p for p, _t in proc.handled] == ["queued"]
+
+    def test_negative_service_time_rejected(self):
+        engine = Engine()
+        proc = RecordingProcessor(engine, per_packet=-1)
+        # Service starts synchronously when the processor is idle, so the
+        # error surfaces on the receive call itself.
+        with pytest.raises(ValueError):
+            proc.receive("bad")
+
+    def test_stats_counters_track_packets(self):
+        engine = Engine()
+        stats = StatsCollector()
+        proc = RecordingProcessor(engine, per_packet=1)
+        proc.stats = stats
+        for i in range(4):
+            proc.receive(i)
+        engine.run()
+        assert stats.counter("proc.packets_received") == 4
+        assert stats.counter("proc.packets_processed") == 4
+
+
+class TestStatsCollector:
+    def test_counters_default_to_zero(self):
+        stats = StatsCollector()
+        assert stats.counter("missing") == 0
+        stats.count("hits", 3)
+        stats.count("hits")
+        assert stats.counter("hits") == 4
+
+    def test_accumulator_statistics(self):
+        acc = Accumulator()
+        for value in (2.0, 4.0, 6.0):
+            acc.add(value)
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(4.0)
+        assert acc.minimum == 2.0
+        assert acc.maximum == 6.0
+        assert acc.variance == pytest.approx(8.0 / 3.0)
+
+    def test_record_and_mean(self):
+        stats = StatsCollector()
+        assert stats.mean("empty") == 0.0
+        stats.record("x", 10)
+        stats.record("x", 20)
+        assert stats.mean("x") == pytest.approx(15.0)
+
+    def test_summary_includes_counters_and_means(self):
+        stats = StatsCollector()
+        stats.count("a", 2)
+        stats.record("b", 3.0)
+        summary = stats.summary()
+        assert summary["a"] == 2.0
+        assert summary["b.mean"] == pytest.approx(3.0)
+
+
+class TestHistogram:
+    def test_percentiles_match_paper_style_claims(self):
+        # "95% of the chains are no more than 2 tasks long".
+        hist = Histogram()
+        hist.add(1, weight=80)
+        hist.add(2, weight=15)
+        hist.add(7, weight=5)
+        assert hist.percentile(0.95) == 2
+        assert hist.max() == 7
+        assert hist.count == 100
+        assert hist.mean() == pytest.approx((80 + 30 + 35) / 100)
+
+    def test_percentile_bounds(self):
+        hist = Histogram()
+        hist.add(3)
+        assert hist.percentile(0.0) == 3
+        assert hist.percentile(1.0) == 3
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+        with pytest.raises(ValueError):
+            Histogram().max()
+        assert Histogram().mean() == 0.0

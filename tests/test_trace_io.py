@@ -1,0 +1,85 @@
+"""Tests for trace serialisation (JSON-lines reader/writer)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.io import read_trace, write_trace
+from repro.trace.records import Direction, TaskTrace
+from repro.workloads.cholesky import CholeskyWorkload
+
+from tests.conftest import chain_trace, fork_join_trace
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = fork_join_trace(width=3)
+        original.metadata["note"] = "fixture"
+        path = tmp_path / "trace.jsonl"
+        write_trace(original, path)
+        loaded = read_trace(path)
+        assert loaded.name == original.name
+        assert loaded.metadata == original.metadata
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.sequence == b.sequence
+            assert a.kernel == b.kernel
+            assert a.runtime_cycles == b.runtime_cycles
+            assert a.operands == b.operands
+
+    def test_roundtrip_workload_trace(self, tmp_path):
+        original = CholeskyWorkload().generate(scale=5)
+        path = tmp_path / "cholesky.jsonl"
+        write_trace(original, path)
+        loaded = read_trace(path)
+        assert len(loaded) == 35
+        assert loaded.total_runtime_cycles == original.total_runtime_cycles
+        assert [t.kernel for t in loaded] == [t.kernel for t in original]
+
+    def test_file_is_line_oriented_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(chain_trace(3), path)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 4  # header + 3 tasks
+        header = json.loads(lines[0])
+        assert header["trace"] == "chain"
+        record = json.loads(lines[1])
+        assert record["seq"] == 0
+        assert record["operands"][0][2] == Direction.OUTPUT.value
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "noheader.jsonl"
+        path.write_text('{"seq": 0}\n')
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace": "x", "metadata": {}}\nnot json\n')
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        path.write_text('{"trace": "x", "metadata": {}}\n{"seq": 0, "kernel": "k"}\n')
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_unknown_direction(self, tmp_path):
+        path = tmp_path / "direction.jsonl"
+        path.write_text(
+            '{"trace": "x", "metadata": {}}\n'
+            '{"seq": 0, "kernel": "k", "runtime_cycles": 1, '
+            '"operands": [[4096, 64, "sideways", false, null]]}\n'
+        )
+        with pytest.raises(TraceFormatError):
+            read_trace(path)

@@ -1,0 +1,119 @@
+"""Tests for task/operand records and trace containers."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.records import Direction, OperandRecord, TaskRecord, TaskTrace
+
+from tests.conftest import make_operand, make_task
+
+
+class TestDirection:
+    def test_reads_and_writes(self):
+        assert Direction.INPUT.reads and not Direction.INPUT.writes
+        assert Direction.OUTPUT.writes and not Direction.OUTPUT.reads
+        assert Direction.INOUT.reads and Direction.INOUT.writes
+
+
+class TestOperandRecord:
+    def test_memory_operand(self):
+        op = OperandRecord(address=0x1000, size=2048, direction=Direction.INOUT)
+        assert op.tracks_dependencies
+        assert op.size == 2048
+
+    def test_scalar_must_be_input(self):
+        with pytest.raises(TraceFormatError):
+            OperandRecord(address=0, size=8, direction=Direction.OUTPUT, is_scalar=True)
+
+    def test_scalar_does_not_track_dependencies(self):
+        op = OperandRecord(address=0, size=8, direction=Direction.INPUT, is_scalar=True)
+        assert not op.tracks_dependencies
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TraceFormatError):
+            OperandRecord(address=0x1000, size=-1, direction=Direction.INPUT)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceFormatError):
+            OperandRecord(address=-4, size=8, direction=Direction.INPUT)
+
+
+class TestTaskRecord:
+    def test_views(self):
+        task = make_task(0, [
+            make_operand(0x1000, size=100, direction=Direction.INPUT),
+            make_operand(0x2000, size=200, direction=Direction.OUTPUT),
+            make_operand(0x3000, size=300, direction=Direction.INOUT),
+            make_operand(0, scalar=True),
+        ])
+        assert task.num_operands == 4
+        assert len(task.memory_operands) == 3
+        assert task.data_bytes == 600
+        assert {op.address for op in task.reads()} == {0x1000, 0x3000}
+        assert {op.address for op in task.writes()} == {0x2000, 0x3000}
+
+    def test_runtime_us_uses_default_clock(self):
+        task = make_task(0, [make_operand(0x1000)], runtime=3200)
+        assert task.runtime_us == pytest.approx(1.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(TraceFormatError):
+            make_task(0, [make_operand(0x1000)], runtime=-1)
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(TraceFormatError):
+            make_task(-1, [make_operand(0x1000)])
+
+
+class TestTaskTrace:
+    def test_sequences_must_be_dense(self):
+        good = TaskTrace("t", [make_task(0, [make_operand(0x1000)]),
+                               make_task(1, [make_operand(0x2000)])])
+        assert len(good) == 2
+        with pytest.raises(TraceFormatError):
+            TaskTrace("t", [make_task(1, [make_operand(0x1000)])])
+
+    def test_total_runtime_is_sequential_time(self):
+        trace = TaskTrace("t", [make_task(i, [make_operand(0x1000 * (i + 1))],
+                                          runtime=100 * (i + 1)) for i in range(4)])
+        assert trace.total_runtime_cycles == 100 + 200 + 300 + 400
+
+    def test_runtime_stats(self):
+        trace = TaskTrace("t", [make_task(i, [make_operand(0x1000 * (i + 1))],
+                                          runtime=r)
+                                for i, r in enumerate((3200, 6400, 12800))])
+        minimum, median, mean = trace.runtime_stats_us()
+        assert minimum == pytest.approx(1.0)
+        assert median == pytest.approx(2.0)
+        assert mean == pytest.approx((1 + 2 + 4) / 3)
+
+    def test_average_data_kb(self):
+        trace = TaskTrace("t", [make_task(0, [make_operand(0x1000, size=2048)]),
+                                make_task(1, [make_operand(0x2000, size=4096)])])
+        assert trace.average_data_kb() == pytest.approx(3.0)
+
+    def test_kernels_in_first_appearance_order(self):
+        trace = TaskTrace("t", [make_task(0, [make_operand(0x1000)], kernel="b"),
+                                make_task(1, [make_operand(0x2000)], kernel="a"),
+                                make_task(2, [make_operand(0x3000)], kernel="b")])
+        assert trace.kernels == ["b", "a"]
+
+    def test_subset(self):
+        trace = TaskTrace("t", [make_task(i, [make_operand(0x1000 * (i + 1))])
+                                for i in range(5)])
+        prefix = trace.subset(2)
+        assert len(prefix) == 2
+        assert prefix.name == trace.name
+        assert [t.sequence for t in prefix] == [0, 1]
+
+    def test_empty_trace_statistics_raise(self):
+        trace = TaskTrace("empty", [])
+        with pytest.raises(TraceFormatError):
+            trace.runtime_stats_us()
+        with pytest.raises(TraceFormatError):
+            trace.average_data_kb()
+
+    def test_max_operands(self):
+        trace = TaskTrace("t", [make_task(0, [make_operand(0x1000), make_operand(0x2000)]),
+                                make_task(1, [make_operand(0x3000)])])
+        assert trace.max_operands() == 2

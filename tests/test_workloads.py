@@ -1,0 +1,185 @@
+"""Tests for the nine benchmark workload generators (Table I)."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.runtime.taskgraph import build_dependency_graph
+from repro.workloads import registry
+from repro.workloads.cholesky import CholeskyWorkload, expected_task_count
+from repro.workloads.h264 import H264Workload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.knn import KnnWorkload
+from repro.workloads.matmul import MatMulWorkload
+
+ALL_NAMES = ["Cholesky", "MatMul", "FFT", "H264", "KMeans", "Knn", "PBPI",
+             "SPECFEM", "STAP"]
+
+#: Small problem sizes so the whole parametrised suite stays fast.
+SMALL_SCALES = {
+    "Cholesky": 8, "MatMul": 5, "FFT": 8, "H264": 3, "KMeans": 2, "Knn": 16,
+    "PBPI": 2, "SPECFEM": 2, "STAP": 32,
+}
+
+
+class TestRegistry:
+    def test_table1_has_nine_benchmarks(self):
+        assert registry.all_workload_names() == ALL_NAMES
+        assert len(registry.TABLE1) == 9
+
+    def test_lookup_is_case_insensitive(self):
+        assert registry.get_spec("cholesky").name == "Cholesky"
+        assert isinstance(registry.get_workload("matmul"), MatMulWorkload)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            registry.get_spec("Quicksort")
+        with pytest.raises(WorkloadError):
+            registry.generate("Quicksort")
+
+    def test_decode_limit_matches_min_runtime(self):
+        for spec in registry.TABLE1.values():
+            expected = spec.min_runtime_us * 1000.0 / 256
+            assert spec.decode_limit_ns == pytest.approx(expected, abs=1.5)
+
+    def test_spec_decode_limit_for_other_machines(self):
+        spec = registry.get_spec("MatMul")
+        assert spec.decode_limit_for(128) == pytest.approx(2 * spec.decode_limit_for(256),
+                                                           rel=0.01)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_generates_nonempty_trace(self, name):
+        trace = registry.generate(name, scale=SMALL_SCALES[name])
+        assert len(trace) > 0
+        assert trace.name == name
+        assert trace.metadata["workload"] == name
+
+    def test_deterministic_for_same_seed(self, name):
+        first = registry.generate(name, scale=SMALL_SCALES[name], seed=3)
+        second = registry.generate(name, scale=SMALL_SCALES[name], seed=3)
+        assert [t.runtime_cycles for t in first] == [t.runtime_cycles for t in second]
+        assert [t.operands for t in first] == [t.operands for t in second]
+
+    def test_operand_counts_fit_trs_layout(self, name):
+        # No generated task may exceed the 19-operand limit of Figure 11.
+        trace = registry.generate(name, scale=SMALL_SCALES[name])
+        assert trace.max_operands() <= 19
+
+    def test_graph_edges_follow_creation_order(self, name):
+        trace = registry.generate(name, scale=SMALL_SCALES[name])
+        graph = build_dependency_graph(trace)
+        for edge in graph.edges:
+            assert edge.producer < edge.consumer
+
+    def test_positive_runtimes(self, name):
+        trace = registry.generate(name, scale=SMALL_SCALES[name])
+        assert all(task.runtime_cycles > 0 for task in trace)
+
+    def test_invalid_scale_rejected(self, name):
+        with pytest.raises(WorkloadError):
+            registry.generate(name, scale=0)
+
+
+class TestTable1Statistics:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return registry.table1_rows()
+
+    def test_runtime_statistics_close_to_paper(self, rows):
+        for row in rows:
+            spec, measured = row["spec"], row["measured"]
+            assert measured["min_runtime_us"] == pytest.approx(spec.min_runtime_us, rel=0.35), row["name"]
+            assert measured["med_runtime_us"] == pytest.approx(spec.med_runtime_us, rel=0.30), row["name"]
+            assert measured["avg_runtime_us"] == pytest.approx(spec.avg_runtime_us, rel=0.30), row["name"]
+
+    def test_data_sizes_same_order_of_magnitude(self, rows):
+        for row in rows:
+            spec, measured = row["spec"], row["measured"]
+            assert measured["avg_data_kb"] == pytest.approx(spec.avg_data_kb, rel=0.6), row["name"]
+
+    def test_traces_are_thousands_of_tasks(self, rows):
+        for row in rows:
+            assert row["tasks"] >= 1000, row["name"]
+
+
+class TestCholesky:
+    def test_expected_task_count_formula(self):
+        for n in (1, 2, 3, 5, 8):
+            trace = CholeskyWorkload().generate(scale=n)
+            assert len(trace) == expected_task_count(n)
+        assert expected_task_count(5) == 35
+
+    def test_kernel_operand_directions_match_figure4(self):
+        trace = CholeskyWorkload().generate(scale=4)
+        from repro.trace.records import Direction
+        for task in trace:
+            directions = [op.direction for op in task.operands]
+            if task.kernel == "sgemm":
+                assert directions == [Direction.INPUT, Direction.INPUT, Direction.INOUT]
+            elif task.kernel in ("strsm", "ssyrk"):
+                assert directions == [Direction.INPUT, Direction.INOUT]
+            elif task.kernel == "spotrf":
+                assert directions == [Direction.INOUT]
+
+    def test_spotrf_is_shortest_kernel(self):
+        trace = CholeskyWorkload().generate(scale=6)
+        by_kernel = {}
+        for task in trace:
+            by_kernel.setdefault(task.kernel, []).append(task.runtime_us)
+        assert max(by_kernel["spotrf"]) < min(by_kernel["sgemm"])
+
+
+class TestMatMul:
+    def test_task_count_is_n_cubed(self):
+        assert len(MatMulWorkload().generate(scale=4)) == 64
+
+    def test_dependency_structure_is_accumulation_chains(self):
+        trace = MatMulWorkload().generate(scale=3)
+        graph = build_dependency_graph(trace)
+        # Each C block forms one chain of length N: N^2 chains, each with N-1
+        # true dependencies.
+        raw = [e for e in graph.edges if e.kind.name == "RAW"]
+        assert len(raw) == 9 * 2
+        assert graph.max_width() == 9
+
+
+class TestH264:
+    def test_wavefront_dependencies(self):
+        trace = H264Workload(mb_width=4, mb_height=3).generate(scale=2)
+        graph = build_dependency_graph(trace)
+        # Macroblock tasks depend on in-frame neighbours and the co-located
+        # block of the previous frame, so the second frame cannot start before
+        # the first frame's co-located blocks.
+        decode_tasks = [t for t in trace if t.kernel.startswith("decode")]
+        assert len(decode_tasks) == 2 * 4 * 3
+        # Most interior macroblocks carry more than 6 operands (paper: ~94%).
+        interior = [t for t in decode_tasks if t.num_operands > 6]
+        assert len(interior) >= len(decode_tasks) // 3
+
+    def test_operand_heavy_distribution(self):
+        trace = H264Workload().generate(scale=2)
+        heavy = sum(1 for t in trace if t.num_operands > 6)
+        assert heavy / len(trace) > 0.7
+
+
+class TestReductionWorkloads:
+    def test_kmeans_iterations_are_serialised_by_centroids(self):
+        trace = KMeansWorkload(chunks=8).generate(scale=2)
+        graph = build_dependency_graph(trace)
+        # The last task of iteration 0 (update_centroids) must precede every
+        # assign task of iteration 1.
+        updates = [t.sequence for t in trace if t.kernel == "update_centroids"]
+        first_update = updates[0]
+        later_assigns = [t.sequence for t in trace
+                         if t.kernel == "assign" and t.sequence > first_update]
+        for assign in later_assigns[:8]:
+            assert not graph.is_independent(first_update, assign)
+
+    def test_knn_merges_depend_on_distances(self):
+        trace = KnnWorkload(partitions=4).generate(scale=2)
+        graph = build_dependency_graph(trace)
+        merges = [t.sequence for t in trace if t.kernel == "merge"]
+        assert merges
+        for merge in merges:
+            assert graph.predecessors(merge)
