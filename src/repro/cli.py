@@ -12,6 +12,10 @@ Python:
 * ``python -m repro experiment table1|table2|fig1|fig3`` -- regenerate the
   cheap paper artefacts (the expensive figure sweeps live in ``benchmarks/``
   and ``repro.experiments.runner``).
+* ``python -m repro sweep --workload Cholesky --axis frontend.num_trs=1,4,16
+  --axis num_cores=64,256 --jobs 4`` -- run a declarative parameter sweep
+  over a worker pool, caching every simulated point under ``--artifacts`` so
+  interrupted sweeps resume without recomputation (see :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -74,6 +78,45 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import ResultCache, SweepSpec, default_runner, parse_axis_value
+    from repro.sweep.cache import DEFAULT_CACHE_ROOT
+
+    axes = {}
+    for item in args.axis or []:
+        if "=" not in item:
+            raise SystemExit(f"--axis expects NAME=V1,V2,..., got {item!r}")
+        name, values = item.split("=", 1)
+        axes[name.strip()] = [parse_axis_value(value)
+                              for value in values.split(",")]
+    base = {"num_cores": args.cores, "scale_factor": args.scale_factor,
+            "seed": args.seed, "system": args.system,
+            "fast_generator": args.fast_generator}
+    if args.max_tasks is not None:
+        base["max_tasks"] = args.max_tasks
+    from repro.common.errors import ConfigurationError
+
+    spec = SweepSpec(name=args.name, workloads=args.workload, axes=axes, base=base)
+    try:
+        spec.validate()
+    except ConfigurationError as error:
+        raise SystemExit(f"invalid sweep: {error}")
+    print(spec.describe())
+
+    cache = None if args.no_cache else ResultCache(args.artifacts or DEFAULT_CACHE_ROOT)
+    runner = default_runner(jobs=args.jobs, cache=cache)
+
+    def progress(point, result, was_cached):
+        origin = "cache" if was_cached else "run  "
+        print(f"  [{origin}] {point.label()} -> {result.summary()}")
+
+    run = runner.run(spec, progress=progress)
+    print(run.summary())
+    if cache is not None:
+        print(f"artifacts: {cache.root} ({len(cache)} cached points)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro",
@@ -109,6 +152,31 @@ def build_parser() -> argparse.ArgumentParser:
                                        help="regenerate a (cheap) paper artefact")
     experiment.add_argument("name", choices=("table1", "table2", "fig1", "fig3"))
     experiment.set_defaults(func=_cmd_experiment)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a cached, parallel parameter sweep")
+    sweep.add_argument("--workload", action="append", required=True,
+                       choices=registry.all_workload_names(),
+                       help="benchmark to sweep (repeatable)")
+    sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                       help="sweep axis, e.g. frontend.num_trs=1,4,16 "
+                            "(repeatable; axes form a Cartesian grid)")
+    sweep.add_argument("--name", default="cli-sweep", help="campaign name")
+    sweep.add_argument("--cores", type=int, default=256)
+    sweep.add_argument("--scale-factor", type=float, default=1.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--max-tasks", type=int, default=None)
+    sweep.add_argument("--system", choices=("hardware", "software"),
+                       default="hardware")
+    sweep.add_argument("--fast-generator", action="store_true",
+                       help="use the near-zero-cost task-generating thread")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--artifacts", default=None,
+                       help="cache directory (default .repro-artifacts/sweeps)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute every point; write nothing to disk")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.backend.system import TaskSuperscalarSystem
+from repro.backend.system import SimulationResult
 from repro.common.units import KB, MB
-from repro.experiments.common import experiment_config, experiment_trace
-from repro.trace.records import TaskTrace
+from repro.sweep.runner import SerialRunner
+from repro.sweep.spec import SweepSpec
 from repro.workloads import registry
 
 #: Capacity points of Figure 14 (total ORT bytes) and Figure 15 (total TRS bytes).
@@ -48,46 +48,74 @@ class CapacityPoint:
     decode_rate_cycles: float
 
 
-def _run_with_capacity(trace: TaskTrace, ort_bytes: Optional[int],
-                       trs_bytes: Optional[int], num_cores: int) -> CapacityPoint:
-    config = experiment_config(num_cores=num_cores)
-    overrides = {}
-    capacity = 0
+def _capacity_overrides(ort_bytes: Optional[int],
+                        trs_bytes: Optional[int]) -> Dict[str, int]:
+    """Frontend overrides for one nominal capacity point (scaled down)."""
+    overrides: Dict[str, int] = {}
     if ort_bytes is not None:
         scaled = max(4 * KB, ort_bytes // CAPACITY_SCALE)
-        overrides.update(total_ort_capacity_bytes=scaled, total_ovt_capacity_bytes=scaled)
-        capacity = ort_bytes
+        overrides["frontend.total_ort_capacity_bytes"] = scaled
+        overrides["frontend.total_ovt_capacity_bytes"] = scaled
     if trs_bytes is not None:
         scaled = max(16 * KB, trs_bytes // CAPACITY_SCALE)
-        overrides.update(total_trs_capacity_bytes=scaled)
-        capacity = trs_bytes
-    config = config.with_frontend(**overrides)
-    system = TaskSuperscalarSystem(config)
-    result = system.run(trace)
-    return CapacityPoint(workload=trace.name, capacity_bytes=capacity,
+        overrides["frontend.total_trs_capacity_bytes"] = scaled
+    return overrides
+
+
+def capacity_spec(workloads: Sequence[str], axis: str,
+                  capacities: Sequence[int], num_cores: int = 256,
+                  scale_factor: float = 1.0, seed: int = 0) -> SweepSpec:
+    """The Figure 14 (``axis="ort"``) / 15 (``axis="trs"``) grid as a spec.
+
+    Each capacity point is a linked axis value because one nominal capacity
+    sets several (scaled) frontend fields at once.
+    """
+    if axis not in ("ort", "trs"):
+        raise ValueError(f"axis must be 'ort' or 'trs', got {axis!r}")
+    values = [_capacity_overrides(ort_bytes=c if axis == "ort" else None,
+                                  trs_bytes=c if axis == "trs" else None)
+              for c in capacities]
+    return SweepSpec(
+        name=f"{axis}-capacity",
+        workloads=tuple(workloads),
+        axes={"capacity": values},
+        base={"num_cores": num_cores, "scale_factor": scale_factor, "seed": seed},
+    )
+
+
+def _capacity_point(workload: str, capacity: int,
+                    result: SimulationResult) -> CapacityPoint:
+    return CapacityPoint(workload=workload, capacity_bytes=capacity,
                          speedup=result.speedup,
                          window_peak_tasks=result.window_peak_tasks,
                          decode_rate_cycles=result.decode_rate_cycles)
 
 
+def _sweep_capacity(name: str, axis: str, capacities: Sequence[int],
+                    num_cores: int, scale_factor: float, seed: int,
+                    runner) -> List[CapacityPoint]:
+    spec = capacity_spec((name,), axis, capacities, num_cores=num_cores,
+                         scale_factor=scale_factor, seed=seed)
+    runner = runner if runner is not None else SerialRunner()
+    run = runner.run(spec)
+    return [_capacity_point(point.workload, capacity, result)
+            for capacity, (point, result) in zip(capacities, run)]
+
+
 def sweep_ort_capacity(name: str, capacities: Sequence[int] = ORT_CAPACITY_POINTS,
                        num_cores: int = 256, scale_factor: float = 1.0,
-                       seed: int = 0) -> List[CapacityPoint]:
+                       seed: int = 0, runner=None) -> List[CapacityPoint]:
     """Figure 14 sweep for one workload."""
-    trace = experiment_trace(name, scale_factor=scale_factor, seed=seed)
-    return [_run_with_capacity(trace, ort_bytes=capacity, trs_bytes=None,
-                               num_cores=num_cores)
-            for capacity in capacities]
+    return _sweep_capacity(name, "ort", capacities, num_cores, scale_factor,
+                           seed, runner)
 
 
 def sweep_trs_capacity(name: str, capacities: Sequence[int] = TRS_CAPACITY_POINTS,
                        num_cores: int = 256, scale_factor: float = 1.0,
-                       seed: int = 0) -> List[CapacityPoint]:
+                       seed: int = 0, runner=None) -> List[CapacityPoint]:
     """Figure 15 sweep for one workload."""
-    trace = experiment_trace(name, scale_factor=scale_factor, seed=seed)
-    return [_run_with_capacity(trace, ort_bytes=None, trs_bytes=capacity,
-                               num_cores=num_cores)
-            for capacity in capacities]
+    return _sweep_capacity(name, "trs", capacities, num_cores, scale_factor,
+                           seed, runner)
 
 
 def _average_series(per_workload: Dict[str, List[CapacityPoint]]) -> List[CapacityPoint]:
@@ -107,7 +135,8 @@ def figure14(workloads: Iterable[str] = ("Cholesky", "H264"),
              include_average: bool = False,
              capacities: Sequence[int] = ORT_CAPACITY_POINTS,
              num_cores: int = 256,
-             scale_factor: float = 1.0) -> Dict[str, List[CapacityPoint]]:
+             scale_factor: float = 1.0,
+             runner=None) -> Dict[str, List[CapacityPoint]]:
     """Figure 14: speedup vs. total ORT capacity.
 
     ``include_average`` adds the all-benchmark average series (expensive: it
@@ -116,7 +145,8 @@ def figure14(workloads: Iterable[str] = ("Cholesky", "H264"),
     names = list(workloads)
     if include_average:
         names = registry.all_workload_names()
-    series = {name: sweep_ort_capacity(name, capacities, num_cores, scale_factor)
+    series = {name: sweep_ort_capacity(name, capacities, num_cores, scale_factor,
+                                       runner=runner)
               for name in names}
     result = {name: series[name] for name in workloads if name in series}
     if include_average:
@@ -128,12 +158,14 @@ def figure15(workloads: Iterable[str] = ("Cholesky", "H264"),
              include_average: bool = False,
              capacities: Sequence[int] = TRS_CAPACITY_POINTS,
              num_cores: int = 256,
-             scale_factor: float = 1.0) -> Dict[str, List[CapacityPoint]]:
+             scale_factor: float = 1.0,
+             runner=None) -> Dict[str, List[CapacityPoint]]:
     """Figure 15: speedup vs. total TRS capacity."""
     names = list(workloads)
     if include_average:
         names = registry.all_workload_names()
-    series = {name: sweep_trs_capacity(name, capacities, num_cores, scale_factor)
+    series = {name: sweep_trs_capacity(name, capacities, num_cores, scale_factor,
+                                       runner=runner)
               for name in names}
     result = {name: series[name] for name in workloads if name in series}
     if include_average:

@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.backend.system import TaskSuperscalarSystem
+from repro.backend.system import SimulationResult, TaskSuperscalarSystem
 from repro.common.units import cycles_to_ns
-from repro.cores.generator import TaskGeneratingThread
 from repro.experiments.common import experiment_config, experiment_trace
+from repro.sweep.runner import SerialRunner
+from repro.sweep.spec import SweepSpec
 from repro.trace.records import TaskTrace
 from repro.workloads import registry
 
@@ -55,8 +56,13 @@ def measure_decode_rate(trace: TaskTrace, num_trs: int, num_ort: int,
     config = config.with_frontend(num_trs=num_trs, num_ort=num_ort, num_ovt=num_ort)
     system = TaskSuperscalarSystem(config)
     result = system.run(trace)
+    return _decode_point(trace.name, num_trs, num_ort, result)
+
+
+def _decode_point(workload: str, num_trs: int, num_ort: int,
+                  result: SimulationResult) -> DecodeRatePoint:
     return DecodeRatePoint(
-        workload=trace.name,
+        workload=workload,
         num_trs=num_trs,
         num_ort=num_ort,
         decode_rate_cycles=result.decode_rate_cycles,
@@ -65,27 +71,61 @@ def measure_decode_rate(trace: TaskTrace, num_trs: int, num_ort: int,
     )
 
 
+def decode_rate_spec(workloads: Sequence[str],
+                     trs_counts: Sequence[int] = TRS_COUNTS,
+                     ort_counts: Sequence[int] = ORT_COUNTS,
+                     scale_factor: float = 1.0, max_tasks: Optional[int] = 600,
+                     num_cores: int = 256) -> SweepSpec:
+    """The Figure 12/13 parameter grid as a declarative :class:`SweepSpec`.
+
+    ORT and OVT counts are linked (each OVT pairs with one ORT, Section IV),
+    so they form one axis; the axis order (#ORT outer, #TRS inner) matches
+    the paper's figure layout and the pre-sweep nested loops.
+    """
+    return SweepSpec(
+        name="decode-rate",
+        workloads=tuple(workloads),
+        axes={
+            "ort": [{"frontend.num_ort": n, "frontend.num_ovt": n}
+                    for n in ort_counts],
+            "frontend.num_trs": list(trs_counts),
+        },
+        base={"num_cores": num_cores, "scale_factor": scale_factor,
+              "max_tasks": max_tasks, "fast_generator": True},
+    )
+
+
 def sweep_workload(name: str, trs_counts: Sequence[int] = TRS_COUNTS,
                    ort_counts: Sequence[int] = ORT_COUNTS,
                    scale_factor: float = 1.0, max_tasks: Optional[int] = 600,
-                   num_cores: int = 256) -> List[DecodeRatePoint]:
-    """Figure 12 sweep for one workload."""
-    trace = experiment_trace(name, scale_factor=scale_factor, max_tasks=max_tasks)
-    points = []
-    for num_ort in ort_counts:
-        for num_trs in trs_counts:
-            points.append(measure_decode_rate(trace, num_trs, num_ort,
-                                              num_cores=num_cores))
-    return points
+                   num_cores: int = 256, runner=None) -> List[DecodeRatePoint]:
+    """Figure 12 sweep for one workload.
+
+    ``runner`` is any :mod:`repro.sweep` runner; the default is an uncached
+    :class:`~repro.sweep.runner.SerialRunner`.  Pass a
+    :class:`~repro.sweep.runner.ParallelRunner` (optionally with a
+    :class:`~repro.sweep.cache.ResultCache`) to fan the grid out.
+    """
+    spec = decode_rate_spec((name,), trs_counts, ort_counts,
+                            scale_factor=scale_factor, max_tasks=max_tasks,
+                            num_cores=num_cores)
+    runner = runner if runner is not None else SerialRunner()
+    run = runner.run(spec)
+    return [_decode_point(point.workload,
+                          point.as_dict()["frontend.num_trs"],
+                          point.as_dict()["frontend.num_ort"], result)
+            for point, result in run]
 
 
 def figure12(workloads: Iterable[str] = ("Cholesky", "H264"),
              trs_counts: Sequence[int] = TRS_COUNTS,
              ort_counts: Sequence[int] = ORT_COUNTS,
-             scale_factor: float = 1.0, max_tasks: Optional[int] = 600) -> Dict[str, List[DecodeRatePoint]]:
+             scale_factor: float = 1.0, max_tasks: Optional[int] = 600,
+             runner=None) -> Dict[str, List[DecodeRatePoint]]:
     """Figure 12: decode-rate sweeps for Cholesky and H264."""
     return {name: sweep_workload(name, trs_counts, ort_counts,
-                                 scale_factor=scale_factor, max_tasks=max_tasks)
+                                 scale_factor=scale_factor, max_tasks=max_tasks,
+                                 runner=runner)
             for name in workloads}
 
 
@@ -93,7 +133,8 @@ def figure13(trs_counts: Sequence[int] = TRS_COUNTS,
              ort_counts: Sequence[int] = ORT_COUNTS,
              workloads: Optional[Iterable[str]] = None,
              scale_factor: float = 1.0,
-             max_tasks: Optional[int] = 400) -> List[DecodeRatePoint]:
+             max_tasks: Optional[int] = 400,
+             runner=None) -> List[DecodeRatePoint]:
     """Figure 13: decode rate averaged over the benchmark set.
 
     Returns one :class:`DecodeRatePoint` per (#TRS, #ORT) pair whose
@@ -103,7 +144,8 @@ def figure13(trs_counts: Sequence[int] = TRS_COUNTS,
     if workloads is None:
         workloads = registry.all_workload_names()
     per_workload = {name: sweep_workload(name, trs_counts, ort_counts,
-                                         scale_factor=scale_factor, max_tasks=max_tasks)
+                                         scale_factor=scale_factor, max_tasks=max_tasks,
+                                         runner=runner)
                     for name in workloads}
     averaged: List[DecodeRatePoint] = []
     for num_ort in ort_counts:

@@ -21,9 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.backend.system import TaskSuperscalarSystem
+from repro.backend.system import SimulationResult, TaskSuperscalarSystem
 from repro.experiments.common import experiment_config, experiment_trace
 from repro.software.runtime_sim import SoftwareRuntimeSystem
+from repro.sweep.runner import SerialRunner
+from repro.sweep.spec import SweepSpec
 from repro.trace.records import TaskTrace
 from repro.workloads import registry
 
@@ -50,8 +52,13 @@ def measure_point(trace: TaskTrace, num_cores: int) -> ScalingPoint:
     hw_result = TaskSuperscalarSystem(hw_config).run(trace)
     sw_config = experiment_config(num_cores=num_cores)
     sw_result = SoftwareRuntimeSystem(sw_config).run(trace)
+    return _scaling_point(trace.name, num_cores, hw_result, sw_result)
+
+
+def _scaling_point(workload: str, num_cores: int, hw_result: SimulationResult,
+                   sw_result: SimulationResult) -> ScalingPoint:
     return ScalingPoint(
-        workload=trace.name,
+        workload=workload,
         num_cores=num_cores,
         hardware_speedup=hw_result.speedup,
         software_speedup=sw_result.speedup,
@@ -60,21 +67,51 @@ def measure_point(trace: TaskTrace, num_cores: int) -> ScalingPoint:
     )
 
 
+def scaling_spec(workloads: Sequence[str],
+                 processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+                 scale_factor: float = 1.0, seed: int = 0) -> SweepSpec:
+    """The Figure 16 grid as a spec: machine widths x both system models."""
+    return SweepSpec(
+        name="fig16-scaling",
+        workloads=tuple(workloads),
+        axes={
+            "num_cores": list(processor_counts),
+            "system": ["hardware", "software"],
+        },
+        base={"scale_factor": scale_factor, "seed": seed},
+    )
+
+
 def sweep_workload(name: str, processor_counts: Sequence[int] = PROCESSOR_COUNTS,
-                   scale_factor: float = 1.0, seed: int = 0) -> List[ScalingPoint]:
-    """Figure 16 series for one benchmark."""
-    trace = experiment_trace(name, scale_factor=scale_factor, seed=seed)
-    return [measure_point(trace, cores) for cores in processor_counts]
+                   scale_factor: float = 1.0, seed: int = 0,
+                   runner=None) -> List[ScalingPoint]:
+    """Figure 16 series for one benchmark.
+
+    The spec interleaves (hardware, software) runs per machine width; the
+    pairs are zipped back into one :class:`ScalingPoint` per width.
+    """
+    spec = scaling_spec((name,), processor_counts, scale_factor=scale_factor,
+                        seed=seed)
+    runner = runner if runner is not None else SerialRunner()
+    run = runner.run(spec)
+    points: List[ScalingPoint] = []
+    for cores in processor_counts:
+        hw = run.result_for(workload=name, num_cores=cores, system="hardware")
+        sw = run.result_for(workload=name, num_cores=cores, system="software")
+        points.append(_scaling_point(name, cores, hw, sw))
+    return points
 
 
 def figure16(workloads: Optional[Iterable[str]] = None,
              processor_counts: Sequence[int] = PROCESSOR_COUNTS,
              scale_factor: float = 1.0,
-             include_average: bool = True) -> Dict[str, List[ScalingPoint]]:
+             include_average: bool = True,
+             runner=None) -> Dict[str, List[ScalingPoint]]:
     """Figure 16: all benchmarks plus the average series."""
     if workloads is None:
         workloads = registry.all_workload_names()
-    series = {name: sweep_workload(name, processor_counts, scale_factor=scale_factor)
+    series = {name: sweep_workload(name, processor_counts, scale_factor=scale_factor,
+                                   runner=runner)
               for name in workloads}
     if include_average and series:
         averaged = []

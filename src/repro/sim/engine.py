@@ -154,21 +154,23 @@ class Engine:
         while self._heap:
             next_event = self._heap[0]
             if until is not None and next_event.time > until:
-                self._now = until
                 break
             if self.max_time is not None and next_event.time > self.max_time:
                 raise SimulationLimitExceeded(
                     f"simulated time exceeded max_time={self.max_time}"
                 )
             if not self.step():
+                # The heap held only cancelled events; nothing left to run.
                 break
             if self.max_events is not None and self._events_processed > self.max_events:
                 raise SimulationLimitExceeded(
                     f"event count exceeded max_events={self.max_events}"
                 )
-        else:
-            if until is not None and until > self._now:
-                self._now = until
+        # Advance the clock to `until` on every exit path (events drained,
+        # next event beyond `until`, or a heap of only cancelled events) so
+        # run(until=...) always leaves now == until when time was requested.
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
     def drain_idle(self) -> bool:

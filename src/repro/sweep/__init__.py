@@ -1,0 +1,34 @@
+"""Parallel experiment-sweep subsystem.
+
+The paper's evaluation is a family of parameter sweeps over the simulated
+task-superscalar machine; this package turns those sweeps into declarative,
+cacheable, parallelisable campaigns:
+
+* :class:`~repro.sweep.spec.SweepSpec` declares a parameter grid and expands
+  it into deterministic :class:`~repro.sweep.spec.SweepPoint` s,
+* :class:`~repro.sweep.cache.ResultCache` content-addresses results on disk
+  so repeated or interrupted sweeps never recompute a finished point,
+* :class:`~repro.sweep.runner.SerialRunner` and
+  :class:`~repro.sweep.runner.ParallelRunner` execute the points (the latter
+  over a ``multiprocessing`` pool) with bit-identical results.
+
+See ``examples/sweep_campaign.py`` for an end-to-end campaign.
+"""
+
+from repro.sweep.cache import DEFAULT_CACHE_ROOT, ResultCache
+from repro.sweep.runner import (ParallelRunner, SerialRunner, SweepRun,
+                                default_runner, execute_point)
+from repro.sweep.spec import SweepPoint, SweepSpec, parse_axis_value
+
+__all__ = [
+    "DEFAULT_CACHE_ROOT",
+    "ParallelRunner",
+    "ResultCache",
+    "SerialRunner",
+    "SweepPoint",
+    "SweepRun",
+    "SweepSpec",
+    "default_runner",
+    "execute_point",
+    "parse_axis_value",
+]

@@ -1,0 +1,150 @@
+"""Content-addressed, on-disk cache of sweep results.
+
+Layout (under the cache root, default ``.repro-artifacts/sweeps``)::
+
+    <root>/
+        objects/<aa>/<point_id>.json   one file per simulated point
+        manifests/<spec_id>.json       one manifest per completed sweep
+
+``point_id`` is :attr:`repro.sweep.spec.SweepPoint.point_id` -- the sha256 of
+the point's canonical parameter JSON -- so the cache key depends only on
+*what* is simulated, never on which spec, process or machine asked for it.
+Interrupted sweeps therefore resume for free: every point that finished
+before the interruption is found by its content address and skipped.
+
+Entries are written atomically (temp file + ``os.replace``) so concurrent
+workers, or a sweep killed mid-write, can never leave a truncated JSON file
+behind.  Each entry records the full parameter dict alongside the result,
+which makes the artifact directory self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.backend.system import SimulationResult
+from repro.sweep.spec import SweepPoint
+
+#: Bump when the entry layout changes; mismatched entries are treated as
+#: misses so stale artifacts never poison newer code.
+SCHEMA_VERSION = 1
+
+#: Default artifacts directory (relative to the working directory).
+DEFAULT_CACHE_ROOT = Path(".repro-artifacts") / "sweeps"
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Serialise a :class:`SimulationResult` to plain JSON data."""
+    return asdict(result)
+
+
+def result_from_dict(data: Dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` data."""
+    return SimulationResult(**data)
+
+
+class ResultCache:
+    """Content-addressed store mapping sweep points to simulation results."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_ROOT):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- Paths -------------------------------------------------------------
+
+    def _object_path(self, point_id: str) -> Path:
+        return self.root / "objects" / point_id[:2] / f"{point_id}.json"
+
+    def _manifest_path(self, spec_id: str) -> Path:
+        return self.root / "manifests" / f"{spec_id}.json"
+
+    # -- Entries -----------------------------------------------------------
+
+    def get(self, point: SweepPoint) -> Optional[SimulationResult]:
+        """Return the cached result for ``point``, or ``None`` on a miss."""
+        path = self._object_path(point.point_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(entry["result"])
+
+    def put(self, point: SweepPoint, result: SimulationResult) -> Path:
+        """Persist ``result`` for ``point`` atomically; returns the path."""
+        path = self._object_path(point.point_id)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "point_id": point.point_id,
+            "params": point.as_dict(),
+            "result": result_to_dict(result),
+        }
+        self._atomic_write(path, entry)
+        return path
+
+    def contains(self, point: SweepPoint) -> bool:
+        """True if ``point`` has a valid cache entry (does not count stats)."""
+        path = self._object_path(point.point_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle).get("schema") == SCHEMA_VERSION
+        except (FileNotFoundError, json.JSONDecodeError):
+            return False
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    # -- Manifests ---------------------------------------------------------
+
+    def write_manifest(self, spec_id: str, name: str,
+                       points: List[SweepPoint]) -> Path:
+        """Record which points a completed sweep covered (for provenance)."""
+        path = self._manifest_path(spec_id)
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "spec_id": spec_id,
+            "name": name,
+            "num_points": len(points),
+            "point_ids": [point.point_id for point in points],
+        }
+        self._atomic_write(path, manifest)
+        return path
+
+    def read_manifest(self, spec_id: str) -> Optional[Dict]:
+        """Load a sweep manifest, or ``None`` if the sweep never completed."""
+        try:
+            with open(self._manifest_path(spec_id), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # -- Internals ---------------------------------------------------------
+
+    @staticmethod
+    def _atomic_write(path: Path, data: Dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, sort_keys=True, indent=1)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise

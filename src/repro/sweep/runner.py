@@ -1,0 +1,247 @@
+"""Execute sweep specs: serially, or fanned out over a worker pool.
+
+:func:`execute_point` is the single entry point that turns one
+:class:`repro.sweep.spec.SweepPoint` into a
+:class:`repro.backend.system.SimulationResult`.  It is a module-level
+function taking only plain data, so it pickles cleanly into
+``multiprocessing`` workers; every worker builds its own engine, frontend and
+backend, which is what keeps parallel execution bit-identical to serial
+execution -- simulations share no mutable state, and the runner reassembles
+results in spec order regardless of completion order.
+
+Both runners consult an optional :class:`repro.sweep.cache.ResultCache`
+before simulating and persist each fresh result as soon as it arrives, so an
+interrupted sweep resumes from its last completed point.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.backend.system import SimulationResult, TaskSuperscalarSystem
+from repro.common.errors import ConfigurationError
+from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
+from repro.sweep.spec import (OVERRIDE_SECTIONS, ParamValue, SweepPoint,
+                              SweepSpec, spec_id_of)
+
+
+def build_point_config(params: Dict[str, ParamValue]):
+    """Build the :class:`SimulationConfig` for one point's parameters."""
+    from dataclasses import replace
+
+    from repro.experiments.common import experiment_config
+
+    config = experiment_config(num_cores=int(params.get("num_cores", 256)),
+                               fast_generator=bool(params.get("fast_generator", False)))
+    overrides: Dict[str, Dict[str, ParamValue]] = {}
+    for name, value in params.items():
+        if "." not in name:
+            continue
+        section, fieldname = name.split(".", 1)
+        if section not in OVERRIDE_SECTIONS:
+            raise ConfigurationError(f"unknown override section in {name!r}")
+        overrides.setdefault(section, {})[fieldname] = value
+    for section, fields in overrides.items():
+        config = replace(config, **{section: replace(getattr(config, section),
+                                                     **fields)})
+    config.validate()
+    return config
+
+
+@functools.lru_cache(maxsize=8)
+def _cached_trace(name: str, scale_factor: float, seed: int,
+                  max_tasks: Optional[int]):
+    """Memoized trace generation.
+
+    A grid typically visits the same (workload, scale, seed, max_tasks) tuple
+    once per pipeline configuration; traces are treated as read-only by both
+    simulators (the pre-sweep experiment loops shared one trace object across
+    a whole grid), so each process regenerates a given trace only once.
+    """
+    from repro.experiments.common import experiment_trace
+
+    return experiment_trace(name, scale_factor=scale_factor, seed=seed,
+                            max_tasks=max_tasks)
+
+
+def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
+    """Simulate one sweep point and return the result as plain JSON data.
+
+    Takes and returns plain dicts (not dataclasses) so the function can cross
+    process boundaries regardless of the multiprocessing start method.
+    """
+    params = dict(point_params)
+    config = build_point_config(params)
+    max_tasks = params.get("max_tasks")
+    trace = _cached_trace(str(params["workload"]),
+                          float(params.get("scale_factor", 1.0)),
+                          int(params.get("seed", 0)),
+                          None if max_tasks is None else int(max_tasks))
+    system_kind = params.get("system", "hardware")
+    if system_kind == "hardware":
+        result = TaskSuperscalarSystem(config).run(
+            trace, validate=bool(params.get("validate", False)))
+    elif system_kind == "software":
+        from repro.software.runtime_sim import SoftwareRuntimeSystem
+
+        result = SoftwareRuntimeSystem(config).run(
+            trace, validate=bool(params.get("validate", False)))
+    else:  # pragma: no cover - SweepSpec.validate rejects this earlier
+        raise ConfigurationError(f"unknown system {system_kind!r}")
+    return result_to_dict(result)
+
+
+def _execute_indexed(payload: Tuple[int, Dict[str, ParamValue]]) -> Tuple[int, Dict]:
+    """Pool adapter: tag each result with its point index.
+
+    Lets :class:`ParallelRunner` stream results with ``imap_unordered`` (so
+    fast points are cached immediately instead of queueing behind a slow
+    earlier point) while still reassembling spec order afterwards.
+    """
+    index, params = payload
+    return index, execute_point(params)
+
+
+@dataclass
+class SweepRun:
+    """The outcome of running one spec: results in spec point order."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+    results: List[SimulationResult]
+    computed_count: int
+    cached_count: int
+
+    def __iter__(self):
+        return iter(zip(self.points, self.results))
+
+    def result_for(self, **param_filter: ParamValue) -> SimulationResult:
+        """The unique result whose point matches every given parameter."""
+        matches = [result for point, result in self
+                   if all(point.as_dict().get(k) == v
+                          for k, v in param_filter.items())]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} points match {param_filter!r}")
+        return matches[0]
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (f"{self.spec.name}: {len(self.points)} points "
+                f"({self.cached_count} cached, {self.computed_count} computed)")
+
+
+ProgressCallback = Callable[[SweepPoint, SimulationResult, bool], None]
+
+
+class SerialRunner:
+    """Run every point in-process, in spec order (the reference executor)."""
+
+    def __init__(self, cache: Optional[ResultCache] = None):
+        self.cache = cache
+
+    def run(self, spec: SweepSpec,
+            progress: Optional[ProgressCallback] = None) -> SweepRun:
+        """Execute ``spec`` and return its :class:`SweepRun`."""
+        points = spec.points()
+        results: List[SimulationResult] = []
+        seen: Dict[str, SimulationResult] = {}
+        computed = cached = 0
+        for point in points:
+            result = seen.get(point.point_id)
+            if result is None and self.cache is not None:
+                result = self.cache.get(point)
+            was_cached = result is not None
+            if result is None:
+                result = result_from_dict(execute_point(point.as_dict()))
+                computed += 1
+                if self.cache is not None:
+                    self.cache.put(point, result)
+            else:
+                cached += 1
+            seen[point.point_id] = result
+            results.append(result)
+            if progress is not None:
+                progress(point, result, was_cached)
+        if self.cache is not None:
+            self.cache.write_manifest(spec_id_of(points), spec.name, points)
+        return SweepRun(spec=spec, points=points, results=results,
+                        computed_count=computed, cached_count=cached)
+
+
+class ParallelRunner:
+    """Fan uncached points out over a ``multiprocessing`` pool.
+
+    Cached points are answered from the artifact directory without touching
+    the pool; fresh results are written to the cache as they stream back, so
+    killing a sweep midway loses at most the points still in flight.  The
+    returned results are ordered by spec point order -- identical to
+    :class:`SerialRunner` output for the same spec.
+    """
+
+    def __init__(self, num_workers: int = 2, cache: Optional[ResultCache] = None,
+                 start_method: Optional[str] = None):
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.cache = cache
+        self.start_method = start_method
+
+    def run(self, spec: SweepSpec,
+            progress: Optional[ProgressCallback] = None) -> SweepRun:
+        """Execute ``spec`` and return its :class:`SweepRun`."""
+        points = spec.points()
+        results: List[Optional[SimulationResult]] = [None] * len(points)
+        # One pool task per *distinct* configuration: grids whose axes repeat
+        # a parameter set (e.g. clamped capacity points) simulate it once.
+        pending: Dict[str, List[int]] = {}
+        cached = 0
+        for index, point in enumerate(points):
+            if point.point_id in pending:
+                pending[point.point_id].append(index)
+                continue
+            result = self.cache.get(point) if self.cache is not None else None
+            if result is not None:
+                results[index] = result
+                cached += 1
+                if progress is not None:
+                    progress(point, result, True)
+            else:
+                pending[point.point_id] = [index]
+
+        if pending:
+            context = (multiprocessing.get_context(self.start_method)
+                       if self.start_method else multiprocessing.get_context())
+            with context.Pool(processes=min(self.num_workers, len(pending))) as pool:
+                payloads = [(indexes[0], points[indexes[0]].as_dict())
+                            for indexes in pending.values()]
+                # Unordered streaming: each result is cached the moment its
+                # worker finishes, so a killed sweep loses only the points
+                # still in flight (never completed-but-unyielded ones).
+                for first_index, data in pool.imap_unordered(
+                        _execute_indexed, payloads, chunksize=1):
+                    point = points[first_index]
+                    result = result_from_dict(data)
+                    for index in pending[point.point_id]:
+                        results[index] = result
+                    if self.cache is not None:
+                        self.cache.put(point, result)
+                    if progress is not None:
+                        progress(point, result, False)
+
+        duplicates = sum(len(indexes) - 1 for indexes in pending.values())
+        if self.cache is not None:
+            self.cache.write_manifest(spec_id_of(points), spec.name, points)
+        return SweepRun(spec=spec, points=points,
+                        results=[result for result in results if result is not None],
+                        computed_count=len(pending), cached_count=cached + duplicates)
+
+
+def default_runner(jobs: int = 1, cache: Optional[ResultCache] = None):
+    """Pick the runner matching a ``--jobs`` CLI value."""
+    if jobs <= 1:
+        return SerialRunner(cache=cache)
+    return ParallelRunner(num_workers=jobs, cache=cache)

@@ -1,0 +1,282 @@
+"""Declarative parameter grids over :class:`repro.common.config.SimulationConfig`.
+
+A :class:`SweepSpec` names the workloads and parameter axes of one experiment
+campaign; :meth:`SweepSpec.points` expands the Cartesian product into a
+deterministic, duplicate-free list of :class:`SweepPoint` objects.  Each point
+is a flat, JSON-serialisable parameter mapping plus a content address
+(:attr:`SweepPoint.point_id`), which is what makes results cacheable and
+sweeps resumable: the same parameters always hash to the same id, on any
+machine, in any process.
+
+Parameter namespace
+-------------------
+
+======================  =====================================================
+``workload``            Benchmark name (Table I spelling); always present.
+``system``              ``"hardware"`` (task superscalar) or ``"software"``
+                        (StarSs runtime baseline).
+``num_cores``           Backend core count.
+``scale_factor``        Problem-size multiplier (see ``EXPERIMENT_SCALES``).
+``seed``                Trace-generator seed.
+``max_tasks``           Optional trace truncation (``None`` = full trace).
+``fast_generator``      Use the near-zero-cost task-generating thread.
+``validate``            Check the schedule against the gold dependency graph.
+``frontend.<field>``    Override one ``FrontendConfig`` field.
+``backend.<field>``     Override one ``BackendConfig`` field.
+``generator.<field>``   Override one ``TaskGeneratorConfig`` field.
+``software.<field>``    Override one ``SoftwareRuntimeConfig`` field.
+======================  =====================================================
+
+Axes whose values are dicts apply several parameters at once (a *linked*
+axis), e.g. sweeping ORT and OVT counts together::
+
+    SweepSpec(
+        name="fig12-cholesky",
+        workloads=("Cholesky",),
+        axes={
+            "ort": [{"frontend.num_ort": n, "frontend.num_ovt": n}
+                    for n in (1, 2, 4, 8)],
+            "frontend.num_trs": (1, 2, 4, 8, 16, 32, 64),
+        },
+        base={"fast_generator": True, "max_tasks": 600},
+    )
+
+Expansion order is deterministic: workloads vary slowest, then the axes in
+declaration order (first axis outermost), matching the nested-loop order the
+experiment drivers used before this subsystem existed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import canonical_json, content_digest, fingerprint64
+
+#: Scalar parameter types a sweep point may carry.
+ParamValue = Union[str, int, float, bool, None]
+
+#: One axis value: either a scalar assigned to the axis name, or a dict of
+#: parameter overrides applied together (linked axis).
+AxisValue = Union[ParamValue, Mapping[str, ParamValue]]
+
+#: Defaults every point starts from (overridden by ``base`` and the axes).
+DEFAULT_PARAMS: Dict[str, ParamValue] = {
+    "system": "hardware",
+    "num_cores": 256,
+    "scale_factor": 1.0,
+    "seed": 0,
+    "max_tasks": None,
+    "fast_generator": False,
+    "validate": False,
+}
+
+#: Config sections that accept dotted overrides.
+OVERRIDE_SECTIONS = ("frontend", "backend", "generator", "software")
+
+_SYSTEMS = ("hardware", "software")
+
+
+def _check_param_name(name: str) -> None:
+    if name in DEFAULT_PARAMS or name == "workload":
+        return
+    if "." in name:
+        section = name.split(".", 1)[0]
+        if section in OVERRIDE_SECTIONS:
+            return
+    raise ConfigurationError(
+        f"unknown sweep parameter {name!r} (expected one of "
+        f"{sorted(DEFAULT_PARAMS)} + 'workload' or a dotted "
+        f"'{{{'|'.join(OVERRIDE_SECTIONS)}}}.<field>' override)"
+    )
+
+
+def _check_param_value(name: str, value: ParamValue) -> None:
+    if value is not None and not isinstance(value, (str, int, float, bool)):
+        raise ConfigurationError(
+            f"sweep parameter {name!r} has non-scalar value {value!r}; "
+            "axis dicts must map names to scalars"
+        )
+    if name == "system" and value not in _SYSTEMS:
+        raise ConfigurationError(
+            f"system must be one of {_SYSTEMS}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-specified simulation in a sweep.
+
+    ``params`` is a flat mapping from parameter name to scalar value (see the
+    module docstring for the namespace); ``index`` is the point's position in
+    the spec's expansion order.  Points are plain data and pickle cheaply, so
+    they can cross process boundaries to worker pools.
+    """
+
+    index: int
+    params: Tuple[Tuple[str, ParamValue], ...]
+
+    @property
+    def workload(self) -> str:
+        """The point's benchmark name."""
+        return self.as_dict()["workload"]
+
+    def as_dict(self) -> Dict[str, ParamValue]:
+        """The parameters as a plain dict (copy; mutating it is safe)."""
+        return dict(self.params)
+
+    @property
+    def point_id(self) -> str:
+        """Content address of the parameters (hex; cache file name).
+
+        Deliberately independent of :attr:`index` and of the spec the point
+        came from: two specs that expand to the same parameters share cache
+        entries.
+        """
+        return content_digest(self.as_dict())
+
+    @property
+    def fingerprint(self) -> int:
+        """64-bit fingerprint of the parameters (cheap equality check)."""
+        return fingerprint64(self.as_dict())
+
+    def label(self) -> str:
+        """Compact human-readable rendering of the non-default parameters."""
+        parts = [self.workload]
+        for name, value in self.params:
+            if name == "workload" or DEFAULT_PARAMS.get(name) == value:
+                continue
+            parts.append(f"{name}={value}")
+        return " ".join(parts)
+
+
+@dataclass
+class SweepSpec:
+    """A named parameter grid over the simulated system.
+
+    Attributes:
+        name: Campaign name (used in artifact metadata and logs).
+        workloads: Benchmarks to sweep; the outermost axis.
+        axes: Mapping from axis name to its values, in sweep order.  Scalar
+            values assign the axis name itself; dict values apply several
+            parameters together (the axis name is then only a label).
+        base: Non-swept parameter overrides applied to every point.
+    """
+
+    name: str
+    workloads: Sequence[str]
+    axes: Mapping[str, Sequence[AxisValue]] = field(default_factory=dict)
+    base: Mapping[str, ParamValue] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on malformed specs."""
+        if not self.name:
+            raise ConfigurationError("sweep name must be non-empty")
+        if not self.workloads:
+            raise ConfigurationError("sweep must name at least one workload")
+        for name, value in self.base.items():
+            _check_param_name(name)
+            _check_param_value(name, value)
+        for axis, values in self.axes.items():
+            if len(values) == 0:
+                raise ConfigurationError(f"axis {axis!r} has no values")
+            for value in values:
+                if isinstance(value, Mapping):
+                    if not value:
+                        raise ConfigurationError(
+                            f"axis {axis!r} has an empty dict value")
+                    for name, scalar in value.items():
+                        _check_param_name(name)
+                        _check_param_value(name, scalar)
+                else:
+                    _check_param_name(axis)
+                    _check_param_value(axis, value)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of points the spec expands to."""
+        count = len(self.workloads)
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid deterministically into :class:`SweepPoint` s.
+
+        Workloads vary slowest, then each axis in declaration order.  The
+        expansion never produces two points with identical parameters unless
+        the axes themselves repeat a value.
+        """
+        self.validate()
+        expanded: List[SweepPoint] = []
+        axis_names = list(self.axes)
+        axis_values = [list(self.axes[name]) for name in axis_names]
+        for workload in self.workloads:
+            for combo in itertools.product(*axis_values):
+                params = dict(DEFAULT_PARAMS)
+                params.update(self.base)
+                params["workload"] = workload
+                for axis, value in zip(axis_names, combo):
+                    if isinstance(value, Mapping):
+                        params.update(value)
+                    else:
+                        params[axis] = value
+                expanded.append(SweepPoint(
+                    index=len(expanded),
+                    params=tuple(sorted(params.items())),
+                ))
+        return expanded
+
+    @property
+    def spec_id(self) -> str:
+        """Content address of the whole expanded grid (manifest key)."""
+        return spec_id_of(self.points())
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        axes = ", ".join(f"{name}[{len(values)}]"
+                         for name, values in self.axes.items())
+        return (f"sweep {self.name!r}: {len(self.workloads)} workload(s) x "
+                f"{{{axes}}} = {self.cardinality} points")
+
+
+def spec_id_of(points: Sequence[SweepPoint]) -> str:
+    """Content address of an already-expanded grid.
+
+    Runners use this instead of :attr:`SweepSpec.spec_id` so the grid is not
+    expanded a second time just to key the manifest.
+    """
+    return content_digest([point.as_dict() for point in points])
+
+
+def parse_axis_value(text: str) -> ParamValue:
+    """Parse one CLI axis value: int, float, bool or bare string.
+
+    Used by ``repro sweep --axis name=v1,v2``; ``"none"`` maps to ``None``.
+    """
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+# Re-exported for convenience: spec hashing building blocks.
+__all__ = [
+    "AxisValue",
+    "DEFAULT_PARAMS",
+    "OVERRIDE_SECTIONS",
+    "ParamValue",
+    "SweepPoint",
+    "SweepSpec",
+    "canonical_json",
+    "parse_axis_value",
+    "spec_id_of",
+]

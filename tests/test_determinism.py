@@ -1,0 +1,80 @@
+"""Determinism regression tests.
+
+The simulator's reproducibility rests on the engine's (time, sequence) event
+ordering: two runs of the same configuration must agree on every cycle count
+and every statistic, and routing a simulation through a ``multiprocessing``
+worker must not change a single bit of its output.  These tests pin that
+guarantee down so parallel-sweep work cannot silently erode it:
+
+* the full frontend pipeline run twice in-process produces bit-identical
+  :class:`SimulationResult` s (including the stats dict),
+* the same configuration executed through :func:`repro.sweep.runner
+  .execute_point` (the worker entry point) and through a 2-worker
+  :class:`ParallelRunner` agrees with the direct in-process run,
+* the software-runtime baseline is deterministic too,
+* traces themselves regenerate identically from a (name, scale, seed) triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.backend.system import TaskSuperscalarSystem
+from repro.experiments.common import experiment_config, experiment_trace
+from repro.software.runtime_sim import SoftwareRuntimeSystem
+from repro.sweep.runner import ParallelRunner, SerialRunner, execute_point
+from repro.sweep.spec import SweepSpec
+
+WORKLOADS = ("Cholesky", "H264")
+
+
+def _pipeline_result(name: str):
+    config = experiment_config(num_cores=32)
+    trace = experiment_trace(name, scale_factor=0.3, max_tasks=80)
+    return TaskSuperscalarSystem(config).run(trace)
+
+
+class TestPipelineDeterminism:
+    def test_hardware_pipeline_is_bit_identical_across_runs(self):
+        for name in WORKLOADS:
+            first = asdict(_pipeline_result(name))
+            second = asdict(_pipeline_result(name))
+            assert first == second, f"{name}: non-deterministic pipeline run"
+
+    def test_software_runtime_is_bit_identical_across_runs(self):
+        config = experiment_config(num_cores=32)
+        trace = experiment_trace("MatMul", scale_factor=0.4)
+        first = asdict(SoftwareRuntimeSystem(config).run(trace))
+        second = asdict(SoftwareRuntimeSystem(
+            experiment_config(num_cores=32)).run(trace))
+        assert first == second
+
+    def test_trace_generation_is_deterministic(self):
+        for name in WORKLOADS:
+            first = experiment_trace(name, scale_factor=0.3, seed=7)
+            second = experiment_trace(name, scale_factor=0.3, seed=7)
+            assert [t.__dict__ for t in first] == [t.__dict__ for t in second]
+
+    def test_worker_entry_point_matches_in_process_run(self):
+        params = {"workload": "Cholesky", "num_cores": 32,
+                  "scale_factor": 0.3, "max_tasks": 80}
+        direct = asdict(_pipeline_result("Cholesky"))
+        via_worker = execute_point(params)
+        assert via_worker == direct
+
+
+class TestParallelRunnerDeterminism:
+    def test_parallel_runner_matches_serial_bit_for_bit(self):
+        spec = SweepSpec(
+            name="determinism",
+            workloads=WORKLOADS,
+            axes={"frontend.num_trs": (1, 4), "num_cores": (16, 32)},
+            base={"scale_factor": 0.25, "max_tasks": 50, "fast_generator": True},
+        )
+        assert spec.cardinality == 8
+        serial = SerialRunner().run(spec)
+        parallel = ParallelRunner(num_workers=2).run(spec)
+        for point, mine, theirs in zip(spec.points(), serial.results,
+                                       parallel.results):
+            assert asdict(mine) == asdict(theirs), (
+                f"parallel result diverged at {point.label()}")

@@ -1,0 +1,74 @@
+"""Golden-snapshot tests for published-figure experiment outputs.
+
+The sweep refactor (and any future one) must not silently change the numbers
+behind the paper's figures.  These tests run small but fixed configurations
+of the Figure 12 decode-rate sweep and the Figure 16 speedup sweep and
+compare every measured value bit-for-bit against JSON snapshots checked into
+``tests/golden/``.  The simulation is pure integer-cycle Python, so the
+numbers are machine-independent; any diff is a real behaviour change.
+
+If a change is *intended* (a model fix that legitimately moves the numbers),
+regenerate the snapshots and review the diff like any other code change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_snapshots.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import decode_rate, scaling
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: Small, fixed figure configurations (kept cheap so the suite stays fast).
+FIG12_KWARGS = dict(trs_counts=(1, 4, 16), ort_counts=(1, 2),
+                    scale_factor=0.4, max_tasks=120)
+FIG16_KWARGS = dict(processor_counts=(16, 64), scale_factor=0.4)
+
+
+def fig12_snapshot() -> dict:
+    points = decode_rate.sweep_workload("Cholesky", **FIG12_KWARGS)
+    return {"experiment": "fig12", "workload": "Cholesky",
+            "config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in FIG12_KWARGS.items()},
+            "points": [asdict(point) for point in points]}
+
+
+def fig16_snapshot() -> dict:
+    points = scaling.sweep_workload("MatMul", **FIG16_KWARGS)
+    return {"experiment": "fig16", "workload": "MatMul",
+            "config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in FIG16_KWARGS.items()},
+            "points": [asdict(point) for point in points]}
+
+
+def _check_against_golden(name: str, snapshot: dict) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        pytest.skip(f"regenerated {path}")
+    if not path.exists():
+        pytest.fail(f"golden file {path} missing; run with REPRO_REGEN_GOLDEN=1")
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert snapshot == golden, (
+        f"{name} diverged from its golden snapshot; if the change is "
+        "intended, regenerate with REPRO_REGEN_GOLDEN=1 and review the diff")
+
+
+class TestGoldenSnapshots:
+    def test_fig12_decode_rate_matches_golden(self):
+        _check_against_golden("fig12_cholesky", fig12_snapshot())
+
+    def test_fig16_speedup_matches_golden(self):
+        _check_against_golden("fig16_matmul", fig16_snapshot())

@@ -22,11 +22,14 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.analysis.metrics import decode_rate_limit_ns
 from repro.backend.system import run_trace
 from repro.common.ids import OperandID
 from repro.frontend.storage import BlockStorage, RenamingEntry, RenamingTable, VersionTable
 from repro.runtime.taskgraph import build_dependency_graph
+from repro.sim.engine import Engine, SimulationLimitExceeded
 from repro.sim.stats import Histogram
 from repro.trace.records import Direction, OperandRecord, TaskRecord, TaskTrace
 
@@ -196,6 +199,95 @@ class TestDependencyGraphProperties:
         many_cores = graph.simulate_ideal_schedule(64)
         assert one_core == total
         assert critical <= many_cores <= one_core
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event engine
+# ---------------------------------------------------------------------------
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_events_fire_in_time_order_fifo_within_a_cycle(self, delays):
+        """Events run sorted by time; equal times preserve schedule order."""
+        engine = Engine()
+        fired = []
+        for index, delay in enumerate(delays):
+            engine.schedule(delay, fired.append, (delay, index))
+        engine.run()
+        assert fired == sorted(fired)  # (time, seq) pairs in heap order
+        assert len(fired) == len(delays)
+        assert engine.now == max(delay for delay, _ in fired)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=30),
+                              st.booleans()),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_fire(self, schedule):
+        engine = Engine()
+        fired = []
+        kept = 0
+        for index, (delay, cancel) in enumerate(schedule):
+            event = engine.schedule(delay, fired.append, index)
+            if cancel:
+                event.cancel()
+            else:
+                kept += 1
+        engine.run()
+        assert len(fired) == kept == engine.events_processed
+        cancelled = {i for i, (_d, cancel) in enumerate(schedule) if cancel}
+        assert not cancelled & set(fired)
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                    max_size=40),
+           st.integers(min_value=0, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_is_exact_and_resumable(self, delays, until):
+        """run(until=t) executes exactly the events with time <= t and always
+        leaves now == max(now, t), even when the remaining heap is only
+        cancelled events."""
+        engine = Engine()
+        fired = []
+        for delay in delays:
+            event = engine.schedule(delay, fired.append, delay)
+            if delay > until and delay % 2 == 0:
+                event.cancel()  # cancelled tail beyond the horizon
+        engine.run(until=until)
+        assert fired == sorted(d for d in delays if d <= until)
+        assert engine.now == until
+        engine.run()
+        expected = sorted(d for d in delays
+                          if d <= until or d % 2 == 1)
+        assert fired == expected
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_max_events_limit_is_exact(self, limit):
+        engine = Engine(max_events=limit)
+
+        def reschedule():
+            engine.schedule(1, reschedule)
+
+        engine.schedule(0, reschedule)
+        with pytest.raises(SimulationLimitExceeded):
+            engine.run()
+        assert engine.events_processed == limit + 1
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_max_time_limit_blocks_later_events(self, max_time, event_time):
+        engine = Engine(max_time=max_time)
+        fired = []
+        engine.schedule(event_time, fired.append, event_time)
+        if event_time > max_time:
+            with pytest.raises(SimulationLimitExceeded):
+                engine.run()
+            assert fired == []
+        else:
+            engine.run()
+            assert fired == [event_time]
 
 
 # ---------------------------------------------------------------------------

@@ -107,3 +107,24 @@ class TestRunControl:
         engine = Engine()
         engine.run(until=42)
         assert engine.now == 42
+
+    def test_run_until_advances_clock_when_heap_holds_only_cancelled_events(self):
+        # Regression: the cancelled-heap break used to skip the while-else
+        # clause, leaving `now` behind `until`.
+        engine = Engine()
+        engine.schedule(10, lambda: None).cancel()
+        engine.schedule(20, lambda: None).cancel()
+        assert engine.run(until=50) == 50
+        assert engine.now == 50
+        assert engine.events_processed == 0
+
+    def test_run_until_advances_clock_after_cancelled_tail(self):
+        # A real event followed by a cancelled one: both exit paths must
+        # leave the clock at `until`.
+        engine = Engine()
+        seen = []
+        engine.schedule(5, seen.append, "ran")
+        engine.schedule(30, seen.append, "never").cancel()
+        assert engine.run(until=80) == 80
+        assert seen == ["ran"]
+        assert engine.now == 80

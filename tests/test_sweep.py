@@ -1,0 +1,320 @@
+"""Tests for the sweep subsystem: specs, cache, serial and parallel runners.
+
+The acceptance-critical scenarios live here:
+
+* a 2-worker :class:`ParallelRunner` sweep over >= 8 configuration points
+  produces results identical to the :class:`SerialRunner`,
+* re-running the same sweep against the same artifacts directory answers
+  every point from the cache (zero recomputed points),
+* an interrupted sweep resumes: points cached before the interruption are
+  never simulated again.
+
+Property-based tests (hypothesis) cover grid expansion: cardinality,
+duplicate-freedom, order determinism and content-hash stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import canonical_json, content_digest, fingerprint64
+from repro.sweep.cache import ResultCache, result_from_dict
+from repro.sweep.runner import (ParallelRunner, SerialRunner, build_point_config,
+                                default_runner, execute_point)
+from repro.sweep.spec import DEFAULT_PARAMS, SweepSpec, parse_axis_value
+
+#: A small but non-trivial grid: 2 workloads x 2 ORT settings x 2 TRS
+#: settings = 8 points (the acceptance floor), each cheap to simulate.
+def acceptance_spec() -> SweepSpec:
+    return SweepSpec(
+        name="acceptance",
+        workloads=("Cholesky", "MatMul"),
+        axes={
+            "ort": [{"frontend.num_ort": n, "frontend.num_ovt": n}
+                    for n in (1, 2)],
+            "frontend.num_trs": (1, 4),
+        },
+        base={"num_cores": 16, "scale_factor": 0.3, "max_tasks": 50,
+              "fast_generator": True},
+    )
+
+
+def tiny_spec(**base_overrides) -> SweepSpec:
+    base = {"num_cores": 8, "scale_factor": 0.2, "max_tasks": 25}
+    base.update(base_overrides)
+    return SweepSpec(name="tiny", workloads=("Cholesky",),
+                     axes={"frontend.num_trs": (1, 2)}, base=base)
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec expansion
+# ---------------------------------------------------------------------------
+
+class TestSweepSpec:
+    def test_expansion_order_matches_nested_loops(self):
+        spec = acceptance_spec()
+        points = spec.points()
+        assert len(points) == spec.cardinality == 8
+        observed = [(p.workload, p.as_dict()["frontend.num_ort"],
+                     p.as_dict()["frontend.num_trs"]) for p in points]
+        expected = [(w, o, t) for w in ("Cholesky", "MatMul")
+                    for o in (1, 2) for t in (1, 4)]
+        assert observed == expected
+
+    def test_linked_axis_applies_all_fields(self):
+        point = acceptance_spec().points()[0]
+        params = point.as_dict()
+        assert params["frontend.num_ort"] == params["frontend.num_ovt"] == 1
+
+    def test_point_ids_are_distinct_and_stable(self):
+        first = acceptance_spec().points()
+        second = acceptance_spec().points()
+        assert [p.point_id for p in first] == [p.point_id for p in second]
+        assert len({p.point_id for p in first}) == len(first)
+
+    def test_point_id_ignores_index_and_spec_identity(self):
+        spec_a = tiny_spec()
+        spec_b = SweepSpec(name="other-name", workloads=("Cholesky",),
+                           axes={"frontend.num_trs": (2, 1)},
+                           base=dict(tiny_spec().base))
+        ids_a = {p.point_id for p in spec_a.points()}
+        ids_b = {p.point_id for p in spec_b.points()}
+        # Same parameter sets (different order, different spec name) share ids.
+        assert ids_a == ids_b
+
+    def test_unknown_parameter_rejected(self):
+        spec = SweepSpec(name="bad", workloads=("Cholesky",),
+                         axes={"frontend.no_such_field": (1,)})
+        spec.validate()  # the name parses as a frontend override...
+        with pytest.raises(TypeError):
+            build_point_config(spec.points()[0].as_dict())  # ...but fails to apply
+
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="bad", workloads=("Cholesky",),
+                      axes={"nonsense": (1,)}).validate()
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="bad", workloads=("Cholesky",),
+                      base={"system": "quantum"}).validate()
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="bad", workloads=()).validate()
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="bad", workloads=("Cholesky",),
+                      axes={"frontend.num_trs": ()}).validate()
+
+    def test_build_point_config_applies_overrides(self):
+        params = {"workload": "Cholesky", "num_cores": 32,
+                  "frontend.num_trs": 4, "frontend.num_ort": 1,
+                  "frontend.num_ovt": 1, "backend.dispatch_latency_cycles": 8,
+                  "generator.cycles_per_task": 99}
+        config = build_point_config(params)
+        assert config.cmp.num_cores == 32
+        assert config.frontend.num_trs == 4
+        assert config.backend.dispatch_latency_cycles == 8
+        assert config.generator.cycles_per_task == 99
+
+    def test_parse_axis_value(self):
+        assert parse_axis_value("4") == 4
+        assert parse_axis_value("0.5") == 0.5
+        assert parse_axis_value("true") is True
+        assert parse_axis_value("none") is None
+        assert parse_axis_value("hardware") == "hardware"
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec properties (hypothesis)
+# ---------------------------------------------------------------------------
+
+axis_scalar_values = st.lists(st.integers(min_value=1, max_value=64),
+                              min_size=1, max_size=4, unique=True)
+
+
+@st.composite
+def spec_strategy(draw):
+    workloads = draw(st.lists(st.sampled_from(["Cholesky", "MatMul", "FFT"]),
+                              min_size=1, max_size=3, unique=True))
+    axis_names = draw(st.lists(
+        st.sampled_from(["frontend.num_trs", "num_cores", "seed",
+                         "generator.cycles_per_task"]),
+        min_size=0, max_size=3, unique=True))
+    axes = {name: draw(axis_scalar_values) for name in axis_names}
+    return SweepSpec(name="prop", workloads=tuple(workloads), axes=axes,
+                     base={"scale_factor": 0.25, "max_tasks": 20})
+
+
+class TestSweepSpecProperties:
+    @given(spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_cardinality_matches_expansion(self, spec):
+        points = spec.points()
+        assert len(points) == spec.cardinality
+        expected = len(spec.workloads)
+        for values in spec.axes.values():
+            expected *= len(values)
+        assert len(points) == expected
+
+    @given(spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplicate_points(self, spec):
+        points = spec.points()
+        assert len({p.params for p in points}) == len(points)
+        assert len({p.point_id for p in points}) == len(points)
+
+    @given(spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_hash_stability_across_expansions(self, spec):
+        first = spec.points()
+        second = spec.points()
+        assert [p.point_id for p in first] == [p.point_id for p in second]
+        assert [p.fingerprint for p in first] == [p.fingerprint for p in second]
+        # The content digest is exactly the digest of the canonical params.
+        for point in first:
+            assert point.point_id == content_digest(point.as_dict())
+
+    @given(spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_indices_enumerate_expansion_order(self, spec):
+        assert [p.index for p in spec.points()] == list(range(spec.cardinality))
+
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c", "d"]),
+                           st.integers(-5, 5), max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_json_is_order_independent(self, mapping):
+        shuffled = dict(reversed(list(mapping.items())))
+        assert canonical_json(mapping) == canonical_json(shuffled)
+        assert fingerprint64(mapping) == fingerprint64(shuffled)
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_roundtrip_preserves_result_exactly(self, tmp_path):
+        spec = tiny_spec()
+        point = spec.points()[0]
+        cache = ResultCache(tmp_path)
+        assert cache.get(point) is None
+        run = SerialRunner(cache=cache).run(spec)
+        reloaded = ResultCache(tmp_path).get(point)
+        assert asdict(reloaded) == asdict(run.results[0])
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path)
+        SerialRunner(cache=cache).run(spec)
+        for path in (tmp_path / "objects").glob("*/*.json"):
+            path.write_text("{truncated", encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(spec.points()[0]) is None
+        assert not fresh.contains(spec.points()[0])
+
+    def test_manifest_written_on_completion(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path)
+        SerialRunner(cache=cache).run(spec)
+        manifest = cache.read_manifest(spec.spec_id)
+        assert manifest is not None
+        assert manifest["num_points"] == spec.cardinality
+        assert manifest["point_ids"] == [p.point_id for p in spec.points()]
+
+    def test_len_counts_objects(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        SerialRunner(cache=cache).run(spec)
+        assert len(cache) == spec.cardinality
+
+
+# ---------------------------------------------------------------------------
+# Runners: parity, caching, resume
+# ---------------------------------------------------------------------------
+
+class TestRunners:
+    def test_parallel_two_workers_matches_serial_and_rerun_hits_cache(self, tmp_path):
+        """The acceptance scenario: >= 8 points, 2 workers, zero recompute."""
+        spec = acceptance_spec()
+        assert spec.cardinality >= 8
+
+        serial = SerialRunner().run(spec)
+        parallel_cache = ResultCache(tmp_path)
+        parallel = ParallelRunner(num_workers=2, cache=parallel_cache).run(spec)
+
+        assert parallel.computed_count == spec.cardinality
+        assert parallel.cached_count == 0
+        assert len(serial.results) == len(parallel.results) == spec.cardinality
+        for mine, theirs in zip(serial.results, parallel.results):
+            assert asdict(mine) == asdict(theirs)
+
+        rerun = ParallelRunner(num_workers=2, cache=ResultCache(tmp_path)).run(spec)
+        assert rerun.computed_count == 0, "re-run must recompute zero points"
+        assert rerun.cached_count == spec.cardinality
+        for mine, theirs in zip(serial.results, rerun.results):
+            assert asdict(mine) == asdict(theirs)
+
+    def test_interrupted_sweep_resumes_without_recomputation(self, tmp_path):
+        spec = acceptance_spec()
+        points = spec.points()
+        cache = ResultCache(tmp_path)
+        # Simulate an interrupted sweep: only the first half completed.
+        for point in points[:4]:
+            cache.put(point, result_from_dict(execute_point(point.as_dict())))
+        resumed = SerialRunner(cache=ResultCache(tmp_path)).run(spec)
+        assert resumed.cached_count == 4
+        assert resumed.computed_count == 4
+        # And the resumed results equal an uncached run.
+        reference = SerialRunner().run(spec)
+        for mine, theirs in zip(resumed.results, reference.results):
+            assert asdict(mine) == asdict(theirs)
+
+    def test_duplicate_grid_points_are_simulated_once(self):
+        # Clamped axes can legitimately repeat a parameter set (e.g. the two
+        # smallest Figure 14 capacities both clamp to the 4 KB floor); both
+        # runners must simulate the configuration once and share the result.
+        spec = SweepSpec(
+            name="dup",
+            workloads=("Cholesky",),
+            axes={"capacity": [{"frontend.num_trs": 2}, {"frontend.num_trs": 2}]},
+            base={"num_cores": 8, "scale_factor": 0.2, "max_tasks": 25},
+        )
+        serial = SerialRunner().run(spec)
+        assert serial.computed_count == 1
+        assert serial.cached_count == 1
+        parallel = ParallelRunner(num_workers=2).run(spec)
+        assert parallel.computed_count == 1
+        assert parallel.cached_count == 1
+        assert asdict(parallel.results[0]) == asdict(parallel.results[1])
+        assert asdict(parallel.results[0]) == asdict(serial.results[0])
+
+    def test_progress_callback_reports_cache_origin(self, tmp_path):
+        spec = tiny_spec()
+        seen = []
+        SerialRunner(cache=ResultCache(tmp_path)).run(
+            spec, progress=lambda p, r, cached: seen.append(cached))
+        assert seen == [False, False]
+        seen.clear()
+        SerialRunner(cache=ResultCache(tmp_path)).run(
+            spec, progress=lambda p, r, cached: seen.append(cached))
+        assert seen == [True, True]
+
+    def test_execute_point_software_system(self):
+        params = tiny_spec(system="software").points()[0].as_dict()
+        data = execute_point(params)
+        assert data["tasks_completed"] == data["num_tasks"] > 0
+
+    def test_result_for_filters_uniquely(self):
+        run = SerialRunner().run(tiny_spec())
+        result = run.result_for(**{"frontend.num_trs": 2})
+        assert result.tasks_completed > 0
+        with pytest.raises(KeyError):
+            run.result_for(workload="Cholesky")  # two points match
+
+    def test_default_runner_selection(self):
+        assert isinstance(default_runner(1), SerialRunner)
+        assert isinstance(default_runner(3), ParallelRunner)
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(num_workers=0)
