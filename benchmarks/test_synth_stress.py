@@ -1,0 +1,43 @@
+"""Synthetic design-space stress campaigns (repro.experiments.synthetic_stress).
+
+Unlike the figure benchmarks these have no paper artefact to match; the
+checked shape is the pair of qualitative laws the synthetic subsystem is
+built to expose: per-operand decode cost and the window-size footprint of
+dependency distance.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import synthetic_stress
+
+
+def _campaigns():
+    depth = max(4, int(16 * BENCH_SCALE))
+    return {
+        "operands": synthetic_stress.run_operand_stress(
+            steps=(0, 4, 8, 15), num_cores=64, depth=depth),
+        "window": synthetic_stress.run_window_stress(
+            dep_distances=(1, 4, 16, 64), num_cores=32,
+            depth=max(24, int(96 * BENCH_SCALE))),
+    }
+
+
+def test_synthetic_stress_trends(benchmark):
+    series = run_once(benchmark, _campaigns)
+    print("\n" + synthetic_stress.format_report(series))
+
+    operands = series["operands"]
+    # Decode rate degrades monotonically (within noise) with operand count,
+    # and the heaviest tasks cost several times the lean ones.
+    rates = [p.decode_rate_cycles for p in operands]
+    assert rates[-1] > 2.0 * rates[0]
+    for earlier, later in zip(rates, rates[1:]):
+        assert later > 0.9 * earlier
+
+    window = series["window"]
+    # Window occupancy tracks the creation-stream dependency distance while
+    # the decode rate stays flat.
+    means = [p.window_mean_tasks for p in window]
+    assert all(later > earlier for earlier, later in zip(means, means[1:]))
+    assert means[-1] > 5 * means[0]
+    decode = [p.decode_rate_cycles for p in window]
+    assert max(decode) < 1.25 * min(decode)

@@ -16,6 +16,13 @@ Python:
   --axis num_cores=64,256 --jobs 4`` -- run a declarative parameter sweep
   over a worker pool, caching every simulated point under ``--artifacts`` so
   interrupted sweeps resume without recomputation (see :mod:`repro.sweep`).
+* ``python -m repro synth list|stress`` -- inspect the synthetic task-graph
+  families and run the design-space stress campaigns
+  (:mod:`repro.experiments.synthetic_stress`).
+
+``--workload`` accepts any registered workload, case-insensitively, including
+parameterized synthetic specs such as ``"random_dag:width=16,dep_distance=64"``
+(see :mod:`repro.workloads.synthetic`).
 """
 
 from __future__ import annotations
@@ -25,17 +32,32 @@ import sys
 from typing import List, Optional
 
 from repro.backend.system import run_trace
+from repro.common.errors import WorkloadError
 from repro.software.runtime_sim import run_trace_software
 from repro.trace.io import write_trace
 from repro.workloads import registry
 
 
+def _workload_arg(text: str) -> str:
+    """Argparse ``type=`` resolver for ``--workload``.
+
+    Accepts any registered workload name case-insensitively (``choices=``
+    would reject ``cholesky``), validates parameterized synthetic specs, and
+    normalizes to the canonical spelling so downstream lookups and sweep
+    cache keys are stable.
+    """
+    try:
+        return registry.canonical_spec(text)
+    except WorkloadError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
-    print(f"{'Name':10s} {'Class':20s} {'Description':40s} "
+    print(f"{'Name':14s} {'Class':20s} {'Description':40s} "
           f"{'Avg data':>9s} {'Avg runtime':>12s}")
     for name in registry.all_workload_names():
         spec = registry.get_spec(name)
-        print(f"{spec.name:10s} {spec.domain:20s} {spec.description:40s} "
+        print(f"{spec.name:14s} {spec.domain:20s} {spec.description:40s} "
               f"{spec.avg_data_kb:>7.0f}KB {spec.avg_runtime_us:>10.0f}us")
     return 0
 
@@ -78,9 +100,59 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import ResultCache, SweepSpec, default_runner, parse_axis_value
+def _make_runner(args: argparse.Namespace):
+    """Build the (runner, cache) pair shared by the sweep-backed commands."""
+    from repro.sweep import ResultCache, default_runner
     from repro.sweep.cache import DEFAULT_CACHE_ROOT
+
+    cache = None if args.no_cache else ResultCache(args.artifacts or DEFAULT_CACHE_ROOT)
+    return default_runner(jobs=args.jobs, cache=cache), cache
+
+
+def _print_artifacts(cache) -> None:
+    if cache is not None:
+        print(f"artifacts: {cache.root} ({len(cache)} cached points)")
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.experiments import synthetic_stress
+    from repro.workloads.synthetic import SYNTHETIC_FAMILIES, SyntheticWorkload
+
+    if args.action == "list":
+        print(f"{'Family':16s} {'Kernel':12s} Description")
+        for cls in SYNTHETIC_FAMILIES:
+            print(f"{cls.spec.name:16s} {cls.kernel_name:12s} {cls.spec.description}")
+        shared = SyntheticWorkload().params()
+        print("\nKnobs (workload.<knob> in sweeps, name:knob=value on --workload):")
+        for knob, value in shared.items():
+            print(f"  {knob} (default {value!r})")
+        overrides = []
+        for cls in SYNTHETIC_FAMILIES:
+            diffs = {knob: value for knob, value in cls().params().items()
+                     if value != shared[knob]}
+            if diffs:
+                rendered = ", ".join(f"{k}={v!r}" for k, v in diffs.items())
+                overrides.append(f"  {cls.spec.name}: {rendered}")
+        if overrides:
+            print("\nPer-family default overrides:")
+            print("\n".join(overrides))
+        return 0
+
+    # action == "stress"
+    runner, cache = _make_runner(args)
+    campaigns = (synthetic_stress.CAMPAIGNS if args.campaign == "all"
+                 else (args.campaign,))
+    series = synthetic_stress.run_all(runner, quick=args.quick,
+                                      campaigns=campaigns)
+    print(synthetic_stress.format_report(series))
+    if cache is not None:
+        print()
+        _print_artifacts(cache)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepSpec, parse_axis_value
 
     axes = {}
     for item in args.axis or []:
@@ -103,8 +175,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid sweep: {error}")
     print(spec.describe())
 
-    cache = None if args.no_cache else ResultCache(args.artifacts or DEFAULT_CACHE_ROOT)
-    runner = default_runner(jobs=args.jobs, cache=cache)
+    runner, cache = _make_runner(args)
 
     def progress(point, result, was_cached):
         origin = "cache" if was_cached else "run  "
@@ -112,8 +183,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     run = runner.run(spec, progress=progress)
     print(run.summary())
-    if cache is not None:
-        print(f"artifacts: {cache.root} ({len(cache)} cached points)")
+    _print_artifacts(cache)
     return 0
 
 
@@ -127,8 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=_cmd_list)
 
     simulate = subparsers.add_parser("simulate", help="simulate one benchmark")
-    simulate.add_argument("--workload", required=True,
-                          choices=registry.all_workload_names())
+    simulate.add_argument("--workload", required=True, type=_workload_arg,
+                          metavar="NAME[:k=v,...]",
+                          help="workload name (case-insensitive) or synthetic "
+                               f"spec; known: {', '.join(registry.all_workload_names())}")
     simulate.add_argument("--cores", type=int, default=256)
     simulate.add_argument("--scale", type=int, default=None,
                           help="problem size (workload-specific; default built in)")
@@ -142,7 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(func=_cmd_simulate)
 
     trace = subparsers.add_parser("trace", help="write a workload trace to disk")
-    trace.add_argument("--workload", required=True, choices=registry.all_workload_names())
+    trace.add_argument("--workload", required=True, type=_workload_arg,
+                       metavar="NAME[:k=v,...]")
     trace.add_argument("--scale", type=int, default=None)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--output", required=True)
@@ -156,8 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="run a cached, parallel parameter sweep")
     sweep.add_argument("--workload", action="append", required=True,
-                       choices=registry.all_workload_names(),
-                       help="benchmark to sweep (repeatable)")
+                       type=_workload_arg, metavar="NAME[:k=v,...]",
+                       help="workload to sweep (repeatable; case-insensitive; "
+                            "synthetic specs accepted)")
     sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
                        help="sweep axis, e.g. frontend.num_trs=1,4,16 "
                             "(repeatable; axes form a Cartesian grid)")
@@ -177,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute every point; write nothing to disk")
     sweep.set_defaults(func=_cmd_sweep)
+
+    synth = subparsers.add_parser(
+        "synth", help="synthetic task-graph families and stress campaigns")
+    synth.add_argument("action", choices=("list", "stress"),
+                       help="'list' the families and knobs, or run the "
+                            "'stress' design-space campaigns")
+    synth.add_argument("--campaign", choices=("all", "operands", "window"),
+                       default="all",
+                       help="which stress campaign to run (default all)")
+    synth.add_argument("--quick", action="store_true",
+                       help="smaller axes so the campaigns finish in seconds")
+    synth.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    synth.add_argument("--artifacts", default=None,
+                       help="cache directory (default .repro-artifacts/sweeps)")
+    synth.add_argument("--no-cache", action="store_true",
+                       help="recompute every point; write nothing to disk")
+    synth.set_defaults(func=_cmd_synth)
 
     return parser
 

@@ -54,3 +54,12 @@ class TraceFormatError(ReproError):
 
 class SchedulingError(ReproError):
     """The backend scheduler reached an inconsistent state."""
+
+
+class SweepExecutionError(ReproError):
+    """A sweep runner failed to produce a result for one or more points.
+
+    Raised instead of silently returning a shorter result list than the
+    spec's point list, so campaigns never mistake partial output for a
+    completed grid.
+    """

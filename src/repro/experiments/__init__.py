@@ -9,6 +9,7 @@
 | :mod:`repro.experiments.decode_rate` | Figures 12 & 13 -- decode rate vs. #TRS/#ORT |
 | :mod:`repro.experiments.capacity` | Figures 14 & 15 -- speedup vs. ORT/TRS capacity |
 | :mod:`repro.experiments.scaling` | Figure 16 -- speedup vs. core count, hardware vs. software runtime |
+| :mod:`repro.experiments.synthetic_stress` | (beyond the paper) synthetic design-space stress campaigns |
 | :mod:`repro.experiments.runner` | run-everything driver producing a text report |
 
 Every driver accepts a ``scale`` / ``workload-scales`` knob so the same code

@@ -144,7 +144,7 @@ def figure14(workloads: Iterable[str] = ("Cholesky", "H264"),
     """
     names = list(workloads)
     if include_average:
-        names = registry.all_workload_names()
+        names = registry.table1_names()
     series = {name: sweep_ort_capacity(name, capacities, num_cores, scale_factor,
                                        runner=runner)
               for name in names}
@@ -163,7 +163,7 @@ def figure15(workloads: Iterable[str] = ("Cholesky", "H264"),
     """Figure 15: speedup vs. total TRS capacity."""
     names = list(workloads)
     if include_average:
-        names = registry.all_workload_names()
+        names = registry.table1_names()
     series = {name: sweep_trs_capacity(name, capacities, num_cores, scale_factor,
                                        runner=runner)
               for name in names}

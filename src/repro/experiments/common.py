@@ -31,21 +31,28 @@ EXPERIMENT_SCALES: Dict[str, int] = {
 
 
 def experiment_trace(name: str, scale_factor: float = 1.0, seed: int = 0,
-                     max_tasks: Optional[int] = None) -> TaskTrace:
+                     max_tasks: Optional[int] = None,
+                     **workload_kwargs) -> TaskTrace:
     """Generate the trace used by the experiments for workload ``name``.
 
     Args:
-        name: Benchmark name (Table I spelling).
+        name: Workload name (Table I spelling, a synthetic family, or any
+            registered generator; parameterized spec strings such as
+            ``"random_dag:width=16"`` are accepted).
         scale_factor: Multiplier applied to the default problem size; values
-            below 1.0 shrink the traces for quick runs.
+            below 1.0 shrink the traces for quick runs.  Workloads without an
+            ``EXPERIMENT_SCALES`` entry scale from their own default.
         seed: Generator seed.
         max_tasks: Optionally truncate the trace to its first ``max_tasks``
             tasks (used by the decode-rate experiments, which only need a
             steady-state prefix).
+        **workload_kwargs: Extra generator-constructor arguments (the sweep
+            subsystem forwards ``workload.<param>`` axes here).
     """
-    base_scale = EXPERIMENT_SCALES[registry.get_spec(name).name]
+    workload = registry.get_workload(name, **workload_kwargs)
+    base_scale = EXPERIMENT_SCALES.get(workload.spec.name, workload.default_scale)
     scale = max(1, int(round(base_scale * scale_factor)))
-    trace = registry.generate(name, scale=scale, seed=seed)
+    trace = workload.generate(scale=scale, seed=seed)
     if max_tasks is not None and len(trace) > max_tasks:
         trace = trace.subset(max_tasks)
     return trace

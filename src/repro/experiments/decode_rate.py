@@ -142,7 +142,7 @@ def figure13(trs_counts: Sequence[int] = TRS_COUNTS,
     workload field is ``"Average"``).
     """
     if workloads is None:
-        workloads = registry.all_workload_names()
+        workloads = registry.table1_names()
     per_workload = {name: sweep_workload(name, trs_counts, ort_counts,
                                          scale_factor=scale_factor, max_tasks=max_tasks,
                                          runner=runner)

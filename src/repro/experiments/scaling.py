@@ -109,7 +109,7 @@ def figure16(workloads: Optional[Iterable[str]] = None,
              runner=None) -> Dict[str, List[ScalingPoint]]:
     """Figure 16: all benchmarks plus the average series."""
     if workloads is None:
-        workloads = registry.all_workload_names()
+        workloads = registry.table1_names()
     series = {name: sweep_workload(name, processor_counts, scale_factor=scale_factor,
                                    runner=runner)
               for name in workloads}

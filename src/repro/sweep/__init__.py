@@ -17,7 +17,8 @@ See ``examples/sweep_campaign.py`` for an end-to-end campaign.
 
 from repro.sweep.cache import DEFAULT_CACHE_ROOT, ResultCache
 from repro.sweep.runner import (ParallelRunner, SerialRunner, SweepRun,
-                                default_runner, execute_point)
+                                adaptive_chunksize, default_runner,
+                                execute_point, workload_params)
 from repro.sweep.spec import SweepPoint, SweepSpec, parse_axis_value
 
 __all__ = [
@@ -28,7 +29,9 @@ __all__ = [
     "SweepPoint",
     "SweepRun",
     "SweepSpec",
+    "adaptive_chunksize",
     "default_runner",
     "execute_point",
     "parse_axis_value",
+    "workload_params",
 ]

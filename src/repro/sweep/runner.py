@@ -22,10 +22,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backend.system import SimulationResult, TaskSuperscalarSystem
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SweepExecutionError
 from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
-from repro.sweep.spec import (OVERRIDE_SECTIONS, ParamValue, SweepPoint,
-                              SweepSpec, spec_id_of)
+from repro.sweep.spec import (OVERRIDE_SECTIONS, WORKLOAD_SECTION, ParamValue,
+                              SweepPoint, SweepSpec, spec_id_of)
+
+_WORKLOAD_PREFIX = WORKLOAD_SECTION + "."
 
 
 def build_point_config(params: Dict[str, ParamValue]):
@@ -41,6 +43,8 @@ def build_point_config(params: Dict[str, ParamValue]):
         if "." not in name:
             continue
         section, fieldname = name.split(".", 1)
+        if section == WORKLOAD_SECTION:
+            continue  # generator-constructor parameter, not a config field
         if section not in OVERRIDE_SECTIONS:
             raise ConfigurationError(f"unknown override section in {name!r}")
         overrides.setdefault(section, {})[fieldname] = value
@@ -51,20 +55,29 @@ def build_point_config(params: Dict[str, ParamValue]):
     return config
 
 
+def workload_params(params: Dict[str, ParamValue]) -> Dict[str, ParamValue]:
+    """Extract the ``workload.<param>`` entries as constructor keyword args."""
+    return {name[len(_WORKLOAD_PREFIX):]: value
+            for name, value in params.items()
+            if name.startswith(_WORKLOAD_PREFIX)}
+
+
 @functools.lru_cache(maxsize=8)
 def _cached_trace(name: str, scale_factor: float, seed: int,
-                  max_tasks: Optional[int]):
+                  max_tasks: Optional[int],
+                  workload_kwargs: Tuple[Tuple[str, ParamValue], ...] = ()):
     """Memoized trace generation.
 
-    A grid typically visits the same (workload, scale, seed, max_tasks) tuple
-    once per pipeline configuration; traces are treated as read-only by both
-    simulators (the pre-sweep experiment loops shared one trace object across
-    a whole grid), so each process regenerates a given trace only once.
+    A grid typically visits the same (workload, scale, seed, max_tasks,
+    constructor parameters) tuple once per pipeline configuration; traces are
+    treated as read-only by both simulators (the pre-sweep experiment loops
+    shared one trace object across a whole grid), so each process regenerates
+    a given trace only once.
     """
     from repro.experiments.common import experiment_trace
 
     return experiment_trace(name, scale_factor=scale_factor, seed=seed,
-                            max_tasks=max_tasks)
+                            max_tasks=max_tasks, **dict(workload_kwargs))
 
 
 def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
@@ -79,7 +92,8 @@ def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
     trace = _cached_trace(str(params["workload"]),
                           float(params.get("scale_factor", 1.0)),
                           int(params.get("seed", 0)),
-                          None if max_tasks is None else int(max_tasks))
+                          None if max_tasks is None else int(max_tasks),
+                          tuple(sorted(workload_params(params).items())))
     system_kind = params.get("system", "hardware")
     if system_kind == "hardware":
         result = TaskSuperscalarSystem(config).run(
@@ -171,13 +185,27 @@ class SerialRunner:
                         computed_count=computed, cached_count=cached)
 
 
+def adaptive_chunksize(num_pending: int, num_workers: int) -> int:
+    """Pool chunk size for a batch of ``num_pending`` uncached points.
+
+    Fanning out one point per pool task is ideal for long simulations but
+    pays one round of pickling/dispatch overhead per point, which dominates
+    on large grids of cheap points.  Batching to roughly four chunks per
+    worker amortises that overhead while keeping the pool load-balanced;
+    the cap keeps any single chunk from serialising too much work behind
+    one slow point.
+    """
+    return max(1, min(32, num_pending // (num_workers * 4)))
+
+
 class ParallelRunner:
     """Fan uncached points out over a ``multiprocessing`` pool.
 
     Cached points are answered from the artifact directory without touching
     the pool; fresh results are written to the cache as they stream back, so
-    killing a sweep midway loses at most the points still in flight.  The
-    returned results are ordered by spec point order -- identical to
+    killing a sweep midway loses at most the points still in flight (at most
+    one chunk per worker; see :func:`adaptive_chunksize`).  The returned
+    results are ordered by spec point order -- identical to
     :class:`SerialRunner` output for the same spec.
     """
 
@@ -215,14 +243,16 @@ class ParallelRunner:
         if pending:
             context = (multiprocessing.get_context(self.start_method)
                        if self.start_method else multiprocessing.get_context())
-            with context.Pool(processes=min(self.num_workers, len(pending))) as pool:
+            workers = min(self.num_workers, len(pending))
+            with context.Pool(processes=workers) as pool:
                 payloads = [(indexes[0], points[indexes[0]].as_dict())
                             for indexes in pending.values()]
-                # Unordered streaming: each result is cached the moment its
-                # worker finishes, so a killed sweep loses only the points
-                # still in flight (never completed-but-unyielded ones).
+                # Unordered streaming: each result is cached the moment it
+                # arrives, so a killed sweep loses only the points still in
+                # flight (never completed-but-unyielded ones).
                 for first_index, data in pool.imap_unordered(
-                        _execute_indexed, payloads, chunksize=1):
+                        _execute_indexed, payloads,
+                        chunksize=adaptive_chunksize(len(payloads), workers)):
                     point = points[first_index]
                     result = result_from_dict(data)
                     for index in pending[point.point_id]:
@@ -233,11 +263,28 @@ class ParallelRunner:
                         progress(point, result, False)
 
         duplicates = sum(len(indexes) - 1 for indexes in pending.values())
+        _require_complete(points, results)
         if self.cache is not None:
             self.cache.write_manifest(spec_id_of(points), spec.name, points)
-        return SweepRun(spec=spec, points=points,
-                        results=[result for result in results if result is not None],
+        return SweepRun(spec=spec, points=points, results=list(results),
                         computed_count=len(pending), cached_count=cached + duplicates)
+
+
+def _require_complete(points: List[SweepPoint],
+                      results: List[Optional[SimulationResult]]) -> None:
+    """Raise if any point ended the run without a result.
+
+    A shorter-than-spec result list would silently misalign downstream
+    zip(points, results) consumers, so missing results are a hard error.
+    """
+    missing = [point for point, result in zip(points, results) if result is None]
+    if missing:
+        labels = ", ".join(point.label() for point in missing[:5])
+        suffix = ", ..." if len(missing) > 5 else ""
+        raise SweepExecutionError(
+            f"{len(missing)} of {len(points)} sweep points produced no result "
+            f"({labels}{suffix}); the worker pool returned fewer results than "
+            "points")
 
 
 def default_runner(jobs: int = 1, cache: Optional[ResultCache] = None):

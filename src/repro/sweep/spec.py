@@ -25,6 +25,10 @@ Parameter namespace
 ``backend.<field>``     Override one ``BackendConfig`` field.
 ``generator.<field>``   Override one ``TaskGeneratorConfig`` field.
 ``software.<field>``    Override one ``SoftwareRuntimeConfig`` field.
+``workload.<param>``    Pass one keyword argument to the workload generator
+                        constructor (e.g. ``workload.dep_distance`` for the
+                        synthetic families) -- structural knobs become sweep
+                        axes just like hardware parameters.
 ======================  =====================================================
 
 Axes whose values are dicts apply several parameters at once (a *linked*
@@ -76,6 +80,10 @@ DEFAULT_PARAMS: Dict[str, ParamValue] = {
 #: Config sections that accept dotted overrides.
 OVERRIDE_SECTIONS = ("frontend", "backend", "generator", "software")
 
+#: Dotted section whose entries are forwarded to the workload generator
+#: constructor rather than the simulation config.
+WORKLOAD_SECTION = "workload"
+
 _SYSTEMS = ("hardware", "software")
 
 
@@ -84,12 +92,12 @@ def _check_param_name(name: str) -> None:
         return
     if "." in name:
         section = name.split(".", 1)[0]
-        if section in OVERRIDE_SECTIONS:
+        if section in OVERRIDE_SECTIONS or section == WORKLOAD_SECTION:
             return
     raise ConfigurationError(
         f"unknown sweep parameter {name!r} (expected one of "
         f"{sorted(DEFAULT_PARAMS)} + 'workload' or a dotted "
-        f"'{{{'|'.join(OVERRIDE_SECTIONS)}}}.<field>' override)"
+        f"'{{{'|'.join(OVERRIDE_SECTIONS + (WORKLOAD_SECTION,))}}}.<field>' override)"
     )
 
 
@@ -273,6 +281,7 @@ __all__ = [
     "AxisValue",
     "DEFAULT_PARAMS",
     "OVERRIDE_SECTIONS",
+    "WORKLOAD_SECTION",
     "ParamValue",
     "SweepPoint",
     "SweepSpec",

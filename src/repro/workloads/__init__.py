@@ -1,4 +1,4 @@
-"""Workload generators for the nine benchmark applications of Table I.
+"""Workload generators: the Table I benchmarks plus synthetic graph families.
 
 The paper evaluates the pipeline with traces of nine scientific applications
 parallelised with StarSs: Cholesky, MatMul, FFT, H264, KMeans, Knn, PBPI,
@@ -7,12 +7,21 @@ package synthesises task traces whose *structure* (dependency patterns and
 operand counts) follows the algorithms, and whose per-task runtimes and data
 sizes follow the distributions reported in Table I.
 
+Beyond the benchmarks, :mod:`repro.workloads.synthetic` provides six
+parameterized task-graph families (fork/join, layered wavefronts, stencils,
+reduction trees, pipeline chains and random DAGs) for design-space stress
+studies, and :mod:`repro.workloads.registry` is a pluggable registry that
+makes any registered generator -- built-in or user-defined via
+:func:`~repro.workloads.registry.register_workload` -- first-class in the
+CLI, the experiment drivers and sweep grids.
+
 Public entry points:
 
 * :data:`repro.workloads.registry.TABLE1` -- the catalogue of
   :class:`repro.workloads.base.WorkloadSpec` records (Table I's rows).
-* :func:`repro.workloads.registry.generate` -- build a trace by name with a
-  chosen scale factor.
+* :func:`repro.workloads.registry.generate` -- build a trace by name (or
+  parameterized spec string such as ``"random_dag:width=16"``).
+* :func:`repro.workloads.registry.register_workload` -- add a generator.
 * Individual generator classes, e.g.
   :class:`repro.workloads.cholesky.CholeskyWorkload`.
 """
@@ -21,10 +30,16 @@ from repro.workloads.base import KernelProfile, Workload, WorkloadSpec
 from repro.workloads.registry import (
     TABLE1,
     all_workload_names,
+    canonical_spec,
     generate,
     get_spec,
     get_workload,
+    parse_workload_spec,
+    register_workload,
+    synthetic_names,
+    table1_names,
     table1_rows,
+    unregister_workload,
 )
 
 __all__ = [
@@ -33,8 +48,14 @@ __all__ = [
     "WorkloadSpec",
     "TABLE1",
     "all_workload_names",
+    "canonical_spec",
     "generate",
     "get_spec",
     "get_workload",
+    "parse_workload_spec",
+    "register_workload",
+    "synthetic_names",
+    "table1_names",
     "table1_rows",
+    "unregister_workload",
 ]

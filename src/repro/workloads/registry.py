@@ -1,80 +1,269 @@
-"""Registry of the nine benchmark workloads (Table I).
+"""Pluggable workload registry.
 
-``TABLE1`` maps each application name to its published characteristics, and
-``get_workload`` / ``generate`` give access to the corresponding trace
-generators.  ``table1_rows`` renders the catalogue together with the
-statistics *measured on the generated traces*, which is what the Table I
-reproduction bench prints and checks.
+The registry maps workload names to their generator classes.  The nine
+Table I benchmarks register themselves at import time under the ``table1``
+category and the synthetic task-graph families (:mod:`repro.workloads.synthetic`)
+under ``synthetic``; external code can add its own generators with
+:func:`register_workload` (usable as a decorator) and they become first-class
+everywhere a workload name is accepted -- the CLI, the experiment drivers and
+the sweep subsystem.
+
+Lookups are case-insensitive, and every accessor also understands
+*parameterized workload specs* of the form ``"name:key=value,key=value"``
+(e.g. ``"random_dag:width=16,dep_distance=64"``), where the key/value pairs
+are forwarded to the generator constructor.  :func:`parse_workload_spec`
+and :func:`format_workload_spec` convert between the string and structured
+forms; :func:`canonical_spec` normalizes a spec (canonical name casing,
+sorted parameters) so equal specs hash equally in sweep caches.
+
+``TABLE1`` maps each benchmark name to its published characteristics, and
+``table1_rows`` renders that catalogue together with the statistics *measured
+on the generated traces*, which is what the Table I reproduction bench prints
+and checks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import WorkloadError
 from repro.trace.records import TaskTrace
 from repro.workloads.base import Workload, WorkloadSpec
-from repro.workloads.cholesky import CholeskyWorkload
-from repro.workloads.fft import FFTWorkload
-from repro.workloads.h264 import H264Workload
-from repro.workloads.kmeans import KMeansWorkload
-from repro.workloads.knn import KnnWorkload
-from repro.workloads.matmul import MatMulWorkload
-from repro.workloads.pbpi import PBPIWorkload
-from repro.workloads.specfem import SPECFEMWorkload
-from repro.workloads.stap import STAPWorkload
 
-#: Workload classes in the order Table I lists them.
-_WORKLOAD_CLASSES = (
-    CholeskyWorkload,
-    MatMulWorkload,
-    FFTWorkload,
-    H264Workload,
-    KMeansWorkload,
-    KnnWorkload,
-    PBPIWorkload,
-    SPECFEMWorkload,
-    STAPWorkload,
-)
+#: Registration categories of the built-in generators.
+CATEGORY_TABLE1 = "table1"
+CATEGORY_SYNTHETIC = "synthetic"
+CATEGORY_CUSTOM = "custom"
 
-#: Table I: application name -> published characteristics.
-TABLE1: Dict[str, WorkloadSpec] = {cls.spec.name: cls.spec for cls in _WORKLOAD_CLASSES}
-
-_WORKLOADS_BY_NAME: Dict[str, type] = {cls.spec.name: cls for cls in _WORKLOAD_CLASSES}
+#: Scalar types a workload-spec parameter may carry.
+ParamScalar = Union[str, int, float, bool, None]
 
 
-def all_workload_names() -> List[str]:
-    """Names of the nine benchmarks, in Table I order."""
-    return [cls.spec.name for cls in _WORKLOAD_CLASSES]
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered workload generator."""
 
+    name: str
+    cls: type
+    category: str
+
+
+#: Registered workloads keyed by lower-cased name, in registration order.
+_REGISTRY: Dict[str, RegistryEntry] = {}
+
+
+def register_workload(cls: Optional[type] = None, *, category: str = CATEGORY_CUSTOM,
+                      replace: bool = False):
+    """Register a :class:`~repro.workloads.base.Workload` subclass.
+
+    The class is registered under ``cls.spec.name`` (lookups are
+    case-insensitive).  Usable directly or as a decorator::
+
+        @register_workload(category="custom")
+        class MyWorkload(Workload):
+            spec = WorkloadSpec(name="MyApp", ...)
+
+    Args:
+        cls: The workload class (omit to get a decorator).
+        category: Catalogue grouping ("table1", "synthetic" or "custom").
+        replace: Allow overwriting an existing registration of the same name.
+
+    Returns:
+        The registered class (so the decorator is transparent).
+    """
+    def _register(klass: type) -> type:
+        spec = getattr(klass, "spec", None)
+        if not isinstance(spec, WorkloadSpec) or not spec.name:
+            raise WorkloadError(
+                f"cannot register {klass!r}: it must define a class-level "
+                "'spec' WorkloadSpec with a non-empty name")
+        key = spec.name.lower()
+        if key in _REGISTRY and not replace:
+            raise WorkloadError(
+                f"workload {spec.name!r} is already registered "
+                f"(by {_REGISTRY[key].cls.__name__}); pass replace=True to override")
+        _REGISTRY[key] = RegistryEntry(name=spec.name, cls=klass, category=category)
+        return klass
+
+    if cls is None:
+        return _register
+    return _register(cls)
+
+
+def unregister_workload(name: str) -> bool:
+    """Remove a registration (mainly for tests).  Returns True if it existed."""
+    return _REGISTRY.pop(name.lower(), None) is not None
+
+
+def is_registered(name: str) -> bool:
+    """True if ``name`` (case-insensitive; bare name or spec string) is known.
+
+    Malformed spec strings answer False rather than raising, so the predicate
+    is safe for pre-screening arbitrary user input.
+    """
+    try:
+        base, _ = parse_workload_spec(name)
+    except WorkloadError:
+        return False
+    return base.lower() in _REGISTRY
+
+
+def all_workload_names(category: Optional[str] = None) -> List[str]:
+    """Registered workload names in registration order.
+
+    Args:
+        category: Restrict to one category ("table1", "synthetic", "custom");
+            ``None`` returns every registered workload.
+    """
+    return [entry.name for entry in _REGISTRY.values()
+            if category is None or entry.category == category]
+
+
+def table1_names() -> List[str]:
+    """Names of the nine Table I benchmarks, in the order the table lists them."""
+    return all_workload_names(CATEGORY_TABLE1)
+
+
+def synthetic_names() -> List[str]:
+    """Names of the synthetic task-graph families."""
+    return all_workload_names(CATEGORY_SYNTHETIC)
+
+
+def get_entry(name: str) -> RegistryEntry:
+    """Return the registration for ``name`` (case-insensitive, bare name)."""
+    entry = _REGISTRY.get(name.lower())
+    if entry is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {all_workload_names()}")
+    return entry
+
+
+def resolve_name(name: str) -> str:
+    """Return the canonical (registered) spelling of ``name``."""
+    return get_entry(name).name
+
+
+# ---------------------------------------------------------------------------
+# Parameterized workload specs
+# ---------------------------------------------------------------------------
+
+def _parse_scalar(text: str) -> ParamScalar:
+    """Parse one parameter value: int, float, bool, none or bare string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def parse_workload_spec(spec: str) -> Tuple[str, Dict[str, ParamScalar]]:
+    """Split a workload spec string into ``(name, constructor_kwargs)``.
+
+    ``"Cholesky"`` parses to ``("Cholesky", {})``;
+    ``"random_dag:width=16,runtime_dist=lognormal"`` parses to
+    ``("random_dag", {"width": 16, "runtime_dist": "lognormal"})``.
+    """
+    if ":" not in spec:
+        return spec.strip(), {}
+    name, _, tail = spec.partition(":")
+    params: Dict[str, ParamScalar] = {}
+    for item in tail.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise WorkloadError(
+                f"malformed workload spec {spec!r}: expected key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        params[key.strip()] = _parse_scalar(value)
+    return name.strip(), params
+
+
+def _render_scalar(value: ParamScalar) -> str:
+    """Canonical text for one parameter value.
+
+    Integral floats render as ints (``16.0`` -> ``16``) and booleans in the
+    lowercase the parser expects, so equivalent spellings produce identical
+    spec strings (the generator constructors coerce numeric knobs anyway).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def format_workload_spec(name: str, params: Dict[str, ParamScalar]) -> str:
+    """Render ``(name, params)`` back into a spec string (sorted parameters)."""
+    if not params:
+        return name
+    rendered = ",".join(f"{key}={_render_scalar(params[key])}"
+                        for key in sorted(params))
+    return f"{name}:{rendered}"
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalize a workload spec string.
+
+    Resolves the name's canonical casing, validates the parameters by
+    instantiating the generator, and sorts the parameters and normalizes
+    their scalar spelling (integral floats, booleans) so that two spellings
+    of the same spec compare (and content-hash) equal.
+    """
+    name, params = parse_workload_spec(spec)
+    canonical = resolve_name(name)
+    if params:
+        _instantiate(canonical, params)  # validate constructor arguments
+    return format_workload_spec(canonical, params)
+
+
+def _instantiate(name: str, params: Dict[str, ParamScalar]) -> Workload:
+    cls = get_entry(name).cls
+    try:
+        return cls(**params)
+    except TypeError as error:
+        raise WorkloadError(
+            f"invalid parameters for workload {name!r}: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Lookup / generation
+# ---------------------------------------------------------------------------
 
 def get_spec(name: str) -> WorkloadSpec:
-    """Return the Table I row for ``name`` (case-insensitive)."""
-    for spec_name, spec in TABLE1.items():
-        if spec_name.lower() == name.lower():
-            return spec
-    raise WorkloadError(f"unknown workload {name!r}; known: {all_workload_names()}")
+    """Return the catalogue row for ``name`` (case-insensitive, spec string ok)."""
+    base, _ = parse_workload_spec(name)
+    return get_entry(base).cls.spec
 
 
 def get_workload(name: str, **kwargs) -> Workload:
     """Instantiate the generator for ``name`` (case-insensitive).
 
-    Extra keyword arguments are forwarded to the generator constructor
-    (e.g. ``H264Workload(mb_width=..., mb_height=...)``).
+    ``name`` may be a parameterized spec string; explicit keyword arguments
+    take precedence over parameters parsed from the string (e.g.
+    ``get_workload("random_dag:width=8", width=16)`` builds with width 16).
     """
-    for spec_name, cls in _WORKLOADS_BY_NAME.items():
-        if spec_name.lower() == name.lower():
-            return cls(**kwargs)
-    raise WorkloadError(f"unknown workload {name!r}; known: {all_workload_names()}")
+    base, params = parse_workload_spec(name)
+    params.update(kwargs)
+    return _instantiate(resolve_name(base), params)
 
 
 def generate(name: str, scale: Optional[int] = None, seed: int = 0, **kwargs) -> TaskTrace:
     """Generate a trace for workload ``name``.
 
     Args:
-        name: Application name (Table I spelling, case-insensitive).
+        name: Workload name or parameterized spec string (case-insensitive).
         scale: Problem-size knob; ``None`` uses the workload's default.
-        seed: Seed for runtime jitter.
+        seed: Seed for runtime jitter and randomised structure.
         **kwargs: Extra generator-constructor arguments.
     """
     return get_workload(name, **kwargs).generate(scale=scale, seed=seed)
@@ -91,7 +280,7 @@ def table1_rows(scale_overrides: Optional[Dict[str, int]] = None,
     """
     scale_overrides = scale_overrides or {}
     rows: List[Dict[str, object]] = []
-    for name in all_workload_names():
+    for name in table1_names():
         workload = get_workload(name)
         trace = workload.generate(scale=scale_overrides.get(name), seed=seed)
         minimum, median, mean = trace.runtime_stats_us()
@@ -110,3 +299,38 @@ def table1_rows(scale_overrides: Optional[Dict[str, int]] = None,
             },
         })
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+def _register_builtins() -> None:
+    from repro.workloads.cholesky import CholeskyWorkload
+    from repro.workloads.fft import FFTWorkload
+    from repro.workloads.h264 import H264Workload
+    from repro.workloads.kmeans import KMeansWorkload
+    from repro.workloads.knn import KnnWorkload
+    from repro.workloads.matmul import MatMulWorkload
+    from repro.workloads.pbpi import PBPIWorkload
+    from repro.workloads.specfem import SPECFEMWorkload
+    from repro.workloads.stap import STAPWorkload
+
+    # Registration order matches Table I's row order.
+    for cls in (CholeskyWorkload, MatMulWorkload, FFTWorkload, H264Workload,
+                KMeansWorkload, KnnWorkload, PBPIWorkload, SPECFEMWorkload,
+                STAPWorkload):
+        register_workload(cls, category=CATEGORY_TABLE1)
+
+
+_register_builtins()
+
+#: Table I: application name -> published characteristics.
+TABLE1: Dict[str, WorkloadSpec] = {
+    entry.name: entry.cls.spec
+    for entry in _REGISTRY.values() if entry.category == CATEGORY_TABLE1
+}
+
+# Importing the synthetic module registers the six task-graph families, so
+# any entry point that reaches the registry sees the full catalogue.
+import repro.workloads.synthetic  # noqa: E402,F401  (self-registration)

@@ -45,6 +45,31 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["simulate", "--workload", "Quicksort"])
 
+    def test_workload_lookup_is_case_insensitive(self, capsys):
+        # choices= used to reject lower-case spellings that the registry
+        # itself accepted; the type= resolver normalizes instead.
+        assert main(["simulate", "--workload", "cholesky", "--scale", "4",
+                     "--cores", "4"]) == 0
+        assert "Cholesky" in capsys.readouterr().out
+
+    def test_simulate_synthetic_spec(self, capsys):
+        assert main(["simulate", "--workload",
+                     "random_dag:width=4,depth=4,runtime_us=2.0",
+                     "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "random_dag: 16 tasks" in out
+
+    def test_synth_list(self, capsys):
+        assert main(["synth", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in registry.synthetic_names():
+            assert family in out
+        assert "dep_distance" in out
+
+    def test_invalid_synthetic_params_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "random_dag:bogus_knob=3"])
+
 
 class TestDataTransferExtension:
     def test_transfer_accounting_slows_but_completes(self):

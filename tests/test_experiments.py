@@ -12,11 +12,18 @@ from repro.workloads import registry
 
 class TestCommonHelpers:
     def test_scales_cover_all_benchmarks(self):
-        assert set(common.EXPERIMENT_SCALES) == set(registry.all_workload_names())
+        assert set(common.EXPERIMENT_SCALES) == set(registry.table1_names())
 
     def test_experiment_trace_truncation(self):
         trace = common.experiment_trace("MatMul", scale_factor=0.5, max_tasks=50)
         assert len(trace) == 50
+
+    def test_experiment_trace_synthetic_defaults(self):
+        # Workloads without an EXPERIMENT_SCALES entry scale from their own
+        # default, and constructor kwargs pass through.
+        trace = common.experiment_trace("random_dag", scale_factor=2.0,
+                                        width=4, depth=4)
+        assert len(trace) == 32  # width * depth * (default_scale 1 * 2.0)
 
     def test_fast_generator_is_cheap(self):
         config = common.fast_generator_config()
@@ -26,11 +33,11 @@ class TestCommonHelpers:
 class TestTable1:
     def test_rows_align_with_registry(self):
         rows = table1.run()
-        assert [row["name"] for row in rows] == registry.all_workload_names()
+        assert [row["name"] for row in rows] == registry.table1_names()
 
     def test_format_contains_all_benchmarks(self):
         text = table1.format_table(table1.run())
-        for name in registry.all_workload_names():
+        for name in registry.table1_names():
             assert name in text
 
 

@@ -318,3 +318,21 @@ class TestRunners:
         assert isinstance(default_runner(3), ParallelRunner)
         with pytest.raises(ConfigurationError):
             ParallelRunner(num_workers=0)
+
+    def test_parallel_chunked_grid_matches_serial(self):
+        # 24 cheap points with 2 workers batches several points per pool task
+        # (adaptive_chunksize > 1); results must still be bit-identical to the
+        # serial reference and complete for every point.
+        spec = SweepSpec(
+            name="chunked",
+            workloads=("Cholesky",),
+            axes={"seed": tuple(range(12)), "frontend.num_trs": (1, 2)},
+            base={"num_cores": 4, "scale_factor": 0.2, "max_tasks": 15,
+                  "fast_generator": True},
+        )
+        assert spec.cardinality == 24
+        serial = SerialRunner().run(spec)
+        parallel = ParallelRunner(num_workers=2).run(spec)
+        assert len(parallel.results) == spec.cardinality
+        for mine, theirs in zip(serial.results, parallel.results):
+            assert asdict(mine) == asdict(theirs)
