@@ -48,6 +48,13 @@ class TaskScheduler(SimModule):
         #: (used by the data-transfer model: operand movement cost).
         self.runtime_extension: Optional[Callable[[TaskRecord, int], int]] = None
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        stats = self._stats
+        self._stat_dispatches = stats.counter_handle("scheduler.dispatches")
+        self._stat_completions = stats.counter_handle("scheduler.completions")
+        self._stat_transfer_cycles = stats.counter_handle("scheduler.transfer_cycles")
+
     # -- Dispatch --------------------------------------------------------------------
 
     def _dispatch_pending(self) -> None:
@@ -62,12 +69,12 @@ class TaskScheduler(SimModule):
     def _start_task(self, ready: TaskReady, core_index: int) -> None:
         core = self.cores[core_index]
         self._start_times[ready.task] = self.now
-        self.stats.count("scheduler.dispatches")
+        self._stat_dispatches.value += 1
         record = ready.record
         if self.runtime_extension is not None:
             extra = self.runtime_extension(record, core_index)
             if extra:
-                self.stats.count("scheduler.transfer_cycles", extra)
+                self._stat_transfer_cycles.value += extra
                 record = replace(record, runtime_cycles=record.runtime_cycles + extra)
         core.execute(ready.task, record, self._task_finished)
 
@@ -78,7 +85,7 @@ class TaskScheduler(SimModule):
         self.completions.append((record.sequence, start, self.now, core_index))
         self.tasks_completed += 1
         self.last_completion_time = self.now
-        self.stats.count("scheduler.completions")
+        self._stat_completions.value += 1
         self._idle_cores.append(core_index)
         if self.on_task_complete is not None:
             self.on_task_complete(task, record)

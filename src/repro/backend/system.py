@@ -147,6 +147,7 @@ class TaskSuperscalarSystem:
             graph.validate_schedule(starts, finishes, renamed=True)
 
         makespan = self.scheduler.last_completion_time
+        self.frontend.record_module_utilization(makespan)
         occupancy_acc = self.stats.accumulators.get("frontend.window_occupancy")
         window_mean = occupancy_acc.mean if occupancy_acc and occupancy_acc.count else 0.0
         busy = sum(core.busy_cycles for core in self.cores)

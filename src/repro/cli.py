@@ -19,6 +19,9 @@ Python:
 * ``python -m repro synth list|stress`` -- inspect the synthetic task-graph
   families and run the design-space stress campaigns
   (:mod:`repro.experiments.synthetic_stress`).
+* ``python -m repro bench run|compare`` -- time the pinned performance
+  suite, write a ``BENCH_<label>.json`` report, and diff two reports with a
+  regression tolerance (:mod:`repro.sweep.bench`).
 
 ``--workload`` accepts any registered workload, case-insensitively, including
 parameterized synthetic specs such as ``"random_dag:width=16,dep_distance=64"``
@@ -151,6 +154,40 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sweep import bench
+
+    if args.action == "run":
+        def progress(entry):
+            timing = entry["timing"]
+            print(f"  {entry['name']:18s} {timing['wall_seconds']:6.2f}s "
+                  f"{timing['events_per_sec']:11.0f} events/s")
+
+        report = bench.run_suite(quick=args.quick, repeat=args.repeat,
+                                 label=args.label, only=args.only,
+                                 progress=progress)
+        path = args.output or bench.report_path(args.label)
+        bench.write_report(report, path)
+        print(bench.format_report(report))
+        print(f"wrote {path}")
+        return 0
+
+    # action == "compare"
+    old = bench.load_report(args.old)
+    new = bench.load_report(args.new)
+    comparison = bench.compare_reports(old, new, tolerance=args.tolerance)
+    print(comparison.format())
+    if comparison.mismatches:
+        print("note: deterministic metrics differ for "
+              f"{', '.join(comparison.mismatches)}; those ratios mix "
+              "behaviour changes with performance changes")
+    if not comparison.ok:
+        names = ", ".join(delta.name for delta in comparison.regressions)
+        print(f"FAIL: regression beyond {args.tolerance:.0%} in {names}")
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepSpec, parse_axis_value
 
@@ -251,6 +288,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute every point; write nothing to disk")
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench", help="performance-tracking suite (see repro.sweep.bench)")
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="time the pinned scenario suite and write BENCH_<label>.json")
+    bench_run.add_argument("--label", default="local",
+                           help="report label (default 'local'; the report is "
+                                "written to BENCH_<label>.json)")
+    bench_run.add_argument("--output", default=None,
+                           help="explicit report path (overrides --label naming)")
+    bench_run.add_argument("--quick", action="store_true",
+                           help="shrunk traces so the suite finishes in seconds")
+    bench_run.add_argument("--repeat", type=int, default=1,
+                           help="time each scenario N times, report the fastest")
+    bench_run.add_argument("--only", action="append", metavar="SCENARIO",
+                           help="run only the named scenario (repeatable)")
+    bench_run.set_defaults(func=_cmd_bench)
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two bench reports with a tolerance")
+    bench_compare.add_argument("old", help="baseline BENCH_*.json")
+    bench_compare.add_argument("new", help="candidate BENCH_*.json")
+    bench_compare.add_argument("--tolerance", type=float, default=0.05,
+                               help="allowed fractional slowdown before a "
+                                    "scenario counts as a regression")
+    bench_compare.set_defaults(func=_cmd_bench)
 
     synth = subparsers.add_parser(
         "synth", help="synthetic task-graph families and stress campaigns")

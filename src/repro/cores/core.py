@@ -29,6 +29,10 @@ class WorkerCore(SimModule):
         self.busy_cycles = 0
         self.tasks_executed = 0
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        self._stat_tasks_executed = self._stats.counter_handle("cores.tasks_executed")
+
     @property
     def is_busy(self) -> bool:
         """True while the core is executing a task."""
@@ -59,7 +63,7 @@ class WorkerCore(SimModule):
         self._current = None
         self.busy_cycles += runtime
         self.tasks_executed += 1
-        self.stats.count("cores.tasks_executed")
+        self._stat_tasks_executed.value += 1
         on_finish(task, record, self.index)
 
     def utilization(self, elapsed_cycles: int) -> float:

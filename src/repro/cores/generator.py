@@ -37,6 +37,12 @@ class TaskGeneratingThread(SimModule):
         self.stall_cycles = 0
         self.finished_at: Optional[int] = None
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        self._stat_tasks_submitted = self._stats.counter_handle(
+            "generator.tasks_submitted")
+        self._stat_stalls = self._stats.counter_handle("generator.stalls")
+
     # -- Introspection ---------------------------------------------------------------
 
     @property
@@ -75,11 +81,11 @@ class TaskGeneratingThread(SimModule):
                 self.stall_cycles += self.now - self._stall_started
                 self._stall_started = None
             self._next_index += 1
-            self.stats.count("generator.tasks_submitted")
+            self._stat_tasks_submitted.value += 1
             self._generate_next()
             return
         # Gateway buffer full: stall until it drains.
         if self._stall_started is None:
             self._stall_started = self.now
-            self.stats.count("generator.stalls")
+            self._stat_stalls.value += 1
         self.frontend.notify_when_space(self._try_submit)

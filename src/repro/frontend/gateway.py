@@ -68,6 +68,15 @@ class PipelineGateway(PacketProcessor):
         self._tasks_admitted = 0
         self._tasks_issued = 0
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        stats = self._stats
+        self._stat_submit_rejected = stats.counter_handle("gateway.submit_rejected")
+        self._stat_tasks_admitted = stats.counter_handle("gateway.tasks_admitted")
+        self._stat_window_full_waits = stats.counter_handle("gateway.window_full_waits")
+        self._stat_alloc_retries = stats.counter_handle("gateway.alloc_retries")
+        self._stat_tasks_issued = stats.counter_handle("gateway.tasks_issued")
+
     # -- Assembly -----------------------------------------------------------------
 
     def attach(self, trs_list: List, orts: List) -> None:
@@ -94,14 +103,14 @@ class PipelineGateway(PacketProcessor):
         caller should register a space listener via :meth:`notify_when_space`.
         """
         if not self.can_accept():
-            self.stats.count("gateway.submit_rejected")
+            self._stat_submit_rejected.value += 1
             return False
         slot = self._next_buffer_slot
         self._next_buffer_slot += 1
         pending = _PendingTask(record, slot)
         self._buffer[slot] = pending
         self._tasks_admitted += 1
-        self.stats.count("gateway.tasks_admitted")
+        self._stat_tasks_admitted.value += 1
         self.receive(("arrival", slot))
         return True
 
@@ -159,7 +168,7 @@ class PipelineGateway(PacketProcessor):
             # Older tasks are already queued for TRS space; keep allocation in
             # creation order rather than letting a newcomer race past them.
             bisect.insort(self._waiting_for_space, buffer_slot)
-            self.stats.count("gateway.window_full_waits")
+            self._stat_window_full_waits.value += 1
             return
         self._request_allocation(buffer_slot)
 
@@ -174,7 +183,7 @@ class PipelineGateway(PacketProcessor):
             # creation order (buffer slots are assigned monotonically) so
             # older tasks are always admitted to the window first.
             bisect.insort(self._waiting_for_space, buffer_slot)
-            self.stats.count("gateway.window_full_waits")
+            self._stat_window_full_waits.value += 1
             return
         request = AllocRequest(num_operands=pending.record.num_operands,
                                buffer_slot=buffer_slot)
@@ -201,13 +210,13 @@ class PipelineGateway(PacketProcessor):
             # The TRS was full after all: drop it from the free queue and retry.
             if reply.trs_index in self._free_trs:
                 self._free_trs.remove(reply.trs_index)
-            self.stats.count("gateway.alloc_retries")
+            self._stat_alloc_retries.value += 1
             self._request_allocation(reply.buffer_slot)
             return
         self._issue_operands(pending, reply.task)
         del self._buffer[reply.buffer_slot]
         self._tasks_issued += 1
-        self.stats.count("gateway.tasks_issued")
+        self._stat_tasks_issued.value += 1
         self._notify_space()
         # Allocation succeeded, so there is known free space: hand the next
         # waiting task its turn (retries are serialised -- see

@@ -9,6 +9,10 @@ Messages carry the structural IDs (:class:`repro.common.ids.TaskID`,
 :class:`repro.common.ids.OperandID`) so that the destination module can find
 the referenced state with a direct lookup -- the paper stresses that only the
 ORTs need associative lookups.
+
+Millions of these messages are allocated per simulated run, so every message
+dataclass uses ``slots=True``: no per-instance ``__dict__``, smaller objects,
+faster field access on the packet hot path.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ class ReadyKind(enum.Enum):
 # Gateway <-> TRS (Figure 6)
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class AllocRequest:
     """Gateway -> TRS: allocate storage for a new task.
 
@@ -57,7 +61,7 @@ class AllocRequest:
     buffer_slot: int
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocReply:
     """TRS -> Gateway: result of an allocation request.
 
@@ -74,7 +78,7 @@ class AllocReply:
 # Gateway -> ORT and Gateway -> TRS (operand distribution)
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class OperandDecodeRequest:
     """Gateway -> ORT: decode one memory operand of a newly allocated task."""
 
@@ -84,7 +88,7 @@ class OperandDecodeRequest:
     size: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ScalarOperand:
     """Gateway -> TRS: a scalar operand, ready immediately (no dependencies)."""
 
@@ -95,7 +99,7 @@ class ScalarOperand:
 # ORT -> TRS (Figures 7-9)
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class OperandInfo:
     """ORT -> TRS: basic operand information after renaming-table lookup.
 
@@ -116,7 +120,7 @@ class OperandInfo:
     ovt_index: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DataReady:
     """Notification that (part of) an operand's data is available.
 
@@ -132,7 +136,7 @@ class DataReady:
     rename_address: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RegisterConsumer:
     """TRS -> TRS: chain ``consumer`` after ``target`` for data forwarding.
 
@@ -167,7 +171,7 @@ class VersionKind(enum.Enum):
     READER_MISS = "reader_miss"
 
 
-@dataclass
+@dataclass(slots=True)
 class VersionRequest:
     """ORT -> OVT: create a new version of a memory object.
 
@@ -186,7 +190,7 @@ class VersionRequest:
     previous_version: Optional[int]
 
 
-@dataclass
+@dataclass(slots=True)
 class VersionUse:
     """ORT -> OVT: a reader operand was mapped onto an existing version."""
 
@@ -195,7 +199,7 @@ class VersionUse:
     version: int
 
 
-@dataclass
+@dataclass(slots=True)
 class VersionRelease:
     """TRS -> OVT: a finished task releases its use of an operand's version."""
 
@@ -207,7 +211,7 @@ class VersionRelease:
 # OVT -> ORT
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class EntryRelease:
     """OVT -> ORT: the newest version of ``address`` died; free the ORT entry.
 
@@ -223,7 +227,7 @@ class EntryRelease:
 # Completion path
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class TaskReady:
     """TRS -> ready queue: all operands of ``task`` are ready for execution."""
 
@@ -231,14 +235,14 @@ class TaskReady:
     record: TaskRecord
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskFinished:
     """Backend -> TRS: the task completed execution on a worker core."""
 
     task: TaskID
 
 
-@dataclass
+@dataclass(slots=True)
 class TrsSpaceAvailable:
     """TRS -> Gateway: storage was freed; the TRS can accept allocations again."""
 

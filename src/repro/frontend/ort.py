@@ -56,6 +56,17 @@ class ObjectRenamingTable(PacketProcessor):
         self._next_version = 0
         self._stalling = False
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        stats = self._stats
+        name = self.name
+        self._stat_gateway_stalls = stats.counter_handle(f"{name}.gateway_stalls")
+        self._stat_reader_hits = stats.counter_handle(f"{name}.reader_hits")
+        self._stat_reader_misses = stats.counter_handle(f"{name}.reader_misses")
+        self._stat_writer_decodes = stats.counter_handle(f"{name}.writer_decodes")
+        self._stat_inout_decodes = stats.counter_handle(f"{name}.inout_decodes")
+        self._stat_entries_released = stats.counter_handle(f"{name}.entries_released")
+
     # -- Assembly -----------------------------------------------------------------
 
     def attach(self, ovt, trs_list: List, gateway) -> None:
@@ -82,7 +93,7 @@ class ObjectRenamingTable(PacketProcessor):
         pressured = self.table.is_pressured()
         if pressured and not self._stalling:
             self._stalling = True
-            self.stats.count(f"{self.name}.gateway_stalls")
+            self._stat_gateway_stalls.value += 1
             self.gateway.add_stall(self.name)
         elif not pressured and self._stalling:
             self._stalling = False
@@ -133,7 +144,7 @@ class ObjectRenamingTable(PacketProcessor):
             self._send_operand_info(request, previous_user=previous_user, expected_ready=1)
             entry.last_user = request.operand
             entry.last_user_is_writer = False
-            self.stats.count(f"{self.name}.reader_hits")
+            self._stat_reader_hits.value += 1
         else:
             # Miss: the data is already in memory.  A new version is created to
             # track the object's in-flight readers (the paper creates a version
@@ -150,7 +161,7 @@ class ObjectRenamingTable(PacketProcessor):
                                             version=version_id,
                                             last_user_is_writer=False))
             self._send_operand_info(request, previous_user=None, expected_ready=1)
-            self.stats.count(f"{self.name}.reader_misses")
+            self._stat_reader_misses.value += 1
 
     def _decode_output(self, request: OperandDecodeRequest) -> None:
         """Figure 7: rename the object; the operand is ready once renamed."""
@@ -167,7 +178,7 @@ class ObjectRenamingTable(PacketProcessor):
                                            previous_version=previous_version),
                   latency=latency)
         self._update_entry(request, version_id)
-        self.stats.count(f"{self.name}.writer_decodes")
+        self._stat_writer_decodes.value += 1
 
     def _decode_inout(self, request: OperandDecodeRequest) -> None:
         """Figure 9: true dependency -- chain the input, gate the output."""
@@ -185,7 +196,7 @@ class ObjectRenamingTable(PacketProcessor):
                                            previous_version=previous_version),
                   latency=latency)
         self._update_entry(request, version_id)
-        self.stats.count(f"{self.name}.inout_decodes")
+        self._stat_inout_decodes.value += 1
 
     # -- Helpers -------------------------------------------------------------------------
 
@@ -219,4 +230,4 @@ class ObjectRenamingTable(PacketProcessor):
     def _release_entry(self, release: EntryRelease) -> None:
         removed = self.table.remove(release.address, version=release.version)
         if removed:
-            self.stats.count(f"{self.name}.entries_released")
+            self._stat_entries_released.value += 1

@@ -54,6 +54,22 @@ class ObjectVersioningTable(PacketProcessor):
         self.gateway = None
         self._stalling = False
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        stats = self._stats
+        name = self.name
+        self._stat_gateway_stalls = stats.counter_handle(f"{name}.gateway_stalls")
+        self._stat_reader_miss_versions = stats.counter_handle(
+            f"{name}.reader_miss_versions")
+        self._stat_renames = stats.counter_handle(f"{name}.renames")
+        self._stat_inout_waits = stats.counter_handle(f"{name}.inout_waits")
+        self._stat_inout_immediate = stats.counter_handle(f"{name}.inout_immediate")
+        self._stat_use_after_release = stats.counter_handle(
+            f"{name}.use_after_release")
+        self._stat_inout_released = stats.counter_handle(f"{name}.inout_released")
+        self._stat_versions_released = stats.counter_handle(
+            f"{name}.versions_released")
+
     # -- Assembly -----------------------------------------------------------------
 
     def attach(self, ort, trs_list: List, gateway=None) -> None:
@@ -80,7 +96,7 @@ class ObjectVersioningTable(PacketProcessor):
         pressured = self.table.is_pressured()
         if pressured and not self._stalling:
             self._stalling = True
-            self.stats.count(f"{self.name}.gateway_stalls")
+            self._stat_gateway_stalls.value += 1
             self.gateway.add_stall(self.name)
         elif not pressured and self._stalling:
             self._stalling = False
@@ -116,7 +132,7 @@ class ObjectVersioningTable(PacketProcessor):
             # Track the missing reader as a user so the version lives until it
             # finishes (create() only auto-registers writers).
             self.table.add_user(request.version_id, request.operand)
-            self.stats.count(f"{self.name}.reader_miss_versions")
+            self._stat_reader_miss_versions.value += 1
             return
         latency = self.config.message_latency_cycles
         trs = self.trs_list[request.operand.trs]
@@ -126,7 +142,7 @@ class ObjectVersioningTable(PacketProcessor):
                                      kind=ReadyKind.OUTPUT_BUFFER,
                                      rename_address=version.renamed_address),
                       latency=latency)
-            self.stats.count(f"{self.name}.renames")
+            self._stat_renames.value += 1
             return
         # INOUT: the output half is gated on the release of the previous
         # version (Figure 9).  If there is no live previous version, the
@@ -135,11 +151,11 @@ class ObjectVersioningTable(PacketProcessor):
         if previous is not None and previous.usage_count > 0:
             previous.next_version = request.version_id
             previous.waiting_inout = request.operand
-            self.stats.count(f"{self.name}.inout_waits")
+            self._stat_inout_waits.value += 1
         else:
             self.send(trs, DataReady(operand=request.operand,
                                      kind=ReadyKind.OUTPUT_BUFFER), latency=latency)
-            self.stats.count(f"{self.name}.inout_immediate")
+            self._stat_inout_immediate.value += 1
 
     def _add_user(self, use: VersionUse) -> None:
         version = self.table.find(use.version)
@@ -147,7 +163,7 @@ class ObjectVersioningTable(PacketProcessor):
             # The version died between the ORT's lookup and this message being
             # processed; the reader's data is already in memory, so nothing is
             # lost -- just account for it.
-            self.stats.count(f"{self.name}.use_after_release")
+            self._stat_use_after_release.value += 1
             return
         self.table.add_user(use.version, use.operand)
 
@@ -162,9 +178,9 @@ class ObjectVersioningTable(PacketProcessor):
             trs = self.trs_list[dead.waiting_inout.trs]
             self.send(trs, DataReady(operand=dead.waiting_inout,
                                      kind=ReadyKind.OUTPUT_BUFFER), latency=latency)
-            self.stats.count(f"{self.name}.inout_released")
+            self._stat_inout_released.value += 1
         if self.ort is not None:
             self.send(self.ort, EntryRelease(address=dead.address,
                                              version=dead.version_id), latency=latency)
         self.table.remove(dead.version_id)
-        self.stats.count(f"{self.name}.versions_released")
+        self._stat_versions_released.value += 1

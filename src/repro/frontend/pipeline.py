@@ -66,6 +66,12 @@ class TaskSuperscalarFrontend:
         #: Decode timestamps, in simulation cycles, in decode-completion order.
         self.decode_times: List[int] = []
 
+        # Pre-bound metric handles for the per-task measurement paths.
+        self._stat_tasks_decoded = self.stats.counter_handle("frontend.tasks_decoded")
+        self._stat_window_samples = self.stats.sampler_handle("frontend.window_tasks")
+        self._stat_window_occupancy = self.stats.accumulator_handle(
+            "frontend.window_occupancy")
+
     # -- Task-generating-thread interface -------------------------------------------
 
     def can_accept(self) -> bool:
@@ -84,13 +90,14 @@ class TaskSuperscalarFrontend:
 
     def notify_finished(self, task: TaskID, latency: int = 0) -> None:
         """Tell the owning TRS that ``task`` completed execution."""
-        self.engine.schedule(latency, self.trs_list[task.trs].receive, TaskFinished(task))
+        self.engine.schedule_unref(latency, self.trs_list[task.trs].receive,
+                                   TaskFinished(task))
 
     # -- Measurements ----------------------------------------------------------------------
 
     def _record_decode(self, task: TaskID, record: TaskRecord, time: int) -> None:
         self.decode_times.append(time)
-        self.stats.count("frontend.tasks_decoded")
+        self._stat_tasks_decoded.value += 1
 
     @property
     def tasks_decoded(self) -> int:
@@ -127,8 +134,24 @@ class TaskSuperscalarFrontend:
     def sample_occupancy(self) -> None:
         """Record a window-occupancy sample into the statistics collector."""
         occupancy = self.window_occupancy()
-        self.stats.sample("frontend.window_tasks", self.engine.now, occupancy)
-        self.stats.record("frontend.window_occupancy", occupancy)
+        self._stat_window_samples.add(self.engine.now, occupancy)
+        self._stat_window_occupancy.add(occupancy)
+
+    def modules(self) -> List:
+        """Every packet-processing module of the frontend, gateway first."""
+        return [self.gateway, *self.trs_list, *self.orts, *self.ovts,
+                self.ready_queue]
+
+    def record_module_utilization(self, elapsed_cycles: int) -> None:
+        """Record each module's ``busy_cycles / elapsed`` into stats.
+
+        Called once at the end of a run (see
+        :meth:`repro.backend.system.TaskSuperscalarSystem.run`); the
+        resulting ``<module>.utilization`` accumulators let decode-rate
+        experiments report which pipeline module saturates first.
+        """
+        for module in self.modules():
+            module.record_utilization(elapsed_cycles)
 
     def describe(self) -> str:
         """One-line summary of the frontend configuration."""

@@ -31,6 +31,11 @@ class ReadyQueue(PacketProcessor):
         self.on_task_available: Optional[Callable[[], None]] = None
         self._peak_depth = 0
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        self._stat_enqueued = self._stats.counter_handle("ready_queue.enqueued")
+        self._stat_dequeued = self._stats.counter_handle("ready_queue.dequeued")
+
     # -- PacketProcessor interface ----------------------------------------------------
 
     def service_time(self, packet) -> int:
@@ -44,7 +49,7 @@ class ReadyQueue(PacketProcessor):
             raise ProtocolError(f"ready queue cannot handle {packet!r}")
         self._ready_tasks.append(packet)
         self._peak_depth = max(self._peak_depth, len(self._ready_tasks))
-        self.stats.count("ready_queue.enqueued")
+        self._stat_enqueued.value += 1
         if self.on_task_available is not None:
             self.on_task_available()
 
@@ -62,5 +67,5 @@ class ReadyQueue(PacketProcessor):
         """Dequeue the oldest ready task, or None when empty."""
         if not self._ready_tasks:
             return None
-        self.stats.count("ready_queue.dequeued")
+        self._stat_dequeued.value += 1
         return self._ready_tasks.popleft()

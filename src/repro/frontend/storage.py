@@ -200,6 +200,7 @@ class RenamingTable:
         self.assoc = assoc
         self._sets: List[Dict[int, RenamingEntry]] = [dict() for _ in range(num_sets)]
         self._pressured_sets: int = 0
+        self._occupancy: int = 0
         self.insertions = 0
         self.overflow_insertions = 0
         self.hits = 0
@@ -249,6 +250,7 @@ class RenamingTable:
                 self.overflow_insertions += 1
             self.insertions += 1
             target[entry.address] = entry
+            self._occupancy += 1
             if len(target) == self.assoc:
                 self._pressured_sets += 1
         else:
@@ -260,9 +262,10 @@ class RenamingTable:
         The table is pressured while any set is at or beyond its
         associativity, or the total occupancy has reached the nominal
         capacity -- the situations in which the hardware would be stalling the
-        gateway waiting for a release.
+        gateway waiting for a release.  Checked on every ORT packet, so both
+        terms are O(1) maintained counts, never scans.
         """
-        return self._pressured_sets > 0 or self.occupancy >= self.capacity
+        return self._pressured_sets > 0 or self._occupancy >= self.capacity
 
     def remove(self, address: int, version: Optional[int] = None) -> bool:
         """Remove the entry for ``address``.
@@ -282,6 +285,7 @@ class RenamingTable:
         if version is not None and entry.version != version:
             return False
         del target[address]
+        self._occupancy -= 1
         if len(target) == self.assoc - 1:
             # The set just dropped back below its associativity.
             self._pressured_sets -= 1
@@ -290,7 +294,7 @@ class RenamingTable:
     @property
     def occupancy(self) -> int:
         """Total number of live entries."""
-        return sum(len(s) for s in self._sets)
+        return self._occupancy
 
     @property
     def capacity(self) -> int:

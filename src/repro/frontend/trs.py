@@ -69,6 +69,11 @@ class _OperandState:
     chained_consumer: Optional[OperandID] = None
     forwarded: bool = False
     rename_address: Optional[int] = None
+    #: Bookkeeping flags for the task entry's O(1) progress counters: set
+    #: once this operand has been subtracted from ``_TaskEntry._undecoded`` /
+    #: ``_TaskEntry._pending`` (see ``_TaskEntry.note_progress``).
+    counted_decoded: bool = False
+    counted_ready: bool = False
 
     @property
     def ready(self) -> bool:
@@ -89,14 +94,33 @@ class _TaskEntry:
     decode_time: Optional[int] = None
     ready_time: Optional[int] = None
     finished: bool = False
+    #: Operands not yet decoded / not yet ready.  Maintained incrementally by
+    #: :meth:`note_progress` -- every operand update used to rescan the whole
+    #: operand list, which is quadratic in operand count per task.
+    _undecoded: int = -1
+    _pending: int = -1
+
+    def __post_init__(self) -> None:
+        self._undecoded = len(self.operands)
+        self._pending = len(self.operands)
+
+    def note_progress(self, state: _OperandState) -> None:
+        """Fold one operand's state change into the progress counters."""
+        if state.decoded and not state.counted_decoded:
+            state.counted_decoded = True
+            self._undecoded -= 1
+        if not state.counted_ready and (state.decoded and state.input_satisfied
+                                        and state.output_satisfied):
+            state.counted_ready = True
+            self._pending -= 1
 
     @property
     def pending_operands(self) -> int:
-        return sum(1 for op in self.operands if not op.ready)
+        return self._pending
 
     @property
     def undecoded_operands(self) -> int:
-        return sum(1 for op in self.operands if not op.decoded)
+        return self._undecoded
 
 
 @dataclass
@@ -141,6 +165,23 @@ class TaskReservationStation(PacketProcessor):
         self._retired: Dict[OperandID, _RetiredOperand] = {}
         self._next_slot = 0
         self._reported_full = False
+
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        stats = self._stats
+        name = self.name
+        self._stat_alloc_rejected = stats.counter_handle(f"{name}.alloc_rejected")
+        self._stat_tasks_allocated = stats.counter_handle(f"{name}.tasks_allocated")
+        self._stat_scalar_operands = stats.counter_handle(f"{name}.scalar_operands")
+        self._stat_operands_decoded = stats.counter_handle(f"{name}.operands_decoded")
+        self._stat_consumer_registrations = stats.counter_handle(
+            f"{name}.consumer_registrations")
+        self._stat_ready_forwarded = stats.counter_handle(f"{name}.ready_forwarded")
+        self._stat_data_ready = stats.counter_handle(f"{name}.data_ready")
+        self._stat_tasks_decoded = stats.counter_handle(f"{name}.tasks_decoded")
+        self._stat_tasks_ready = stats.counter_handle(f"{name}.tasks_ready")
+        self._stat_tasks_finished = stats.counter_handle(f"{name}.tasks_finished")
+        self._stat_chain_forwards = stats.histogram_handle("chain.forwards_per_task")
 
     # -- Assembly -----------------------------------------------------------------
 
@@ -199,7 +240,7 @@ class TaskReservationStation(PacketProcessor):
         latency = self.config.message_latency_cycles
         if not self.storage.can_allocate(request.num_operands):
             self._reported_full = True
-            self.stats.count(f"{self.name}.alloc_rejected")
+            self._stat_alloc_rejected.value += 1
             self.send(self.gateway, AllocReply(trs_index=self.index,
                                                buffer_slot=request.buffer_slot,
                                                task=None), latency=latency)
@@ -217,7 +258,7 @@ class TaskReservationStation(PacketProcessor):
                                      for i in range(request.num_operands)],
                            alloc_time=self.now)
         self._tasks[slot] = entry
-        self.stats.count(f"{self.name}.tasks_allocated")
+        self._stat_tasks_allocated.value += 1
         self.send(self.gateway, AllocReply(trs_index=self.index,
                                            buffer_slot=request.buffer_slot,
                                            task=task), latency=latency)
@@ -258,7 +299,7 @@ class TaskReservationStation(PacketProcessor):
         state.input_satisfied = True
         state.output_satisfied = True
         state.data_available = True
-        self.stats.count(f"{self.name}.scalar_operands")
+        self._stat_scalar_operands.value += 1
         self._after_operand_update(packet.operand)
 
     def _handle_operand_info(self, info: OperandInfo) -> None:
@@ -288,7 +329,7 @@ class TaskReservationStation(PacketProcessor):
             else:
                 self._register_with(info.previous_user, info.operand)
             # output_satisfied arrives when the previous version is released.
-        self.stats.count(f"{self.name}.operands_decoded")
+        self._stat_operands_decoded.value += 1
         self._after_operand_update(info.operand)
 
     def _register_with(self, target: OperandID, consumer: OperandID) -> None:
@@ -296,7 +337,7 @@ class TaskReservationStation(PacketProcessor):
         self.send(self.trs_list[target.trs],
                   RegisterConsumer(target=target, consumer=consumer),
                   latency=self.config.message_latency_cycles)
-        self.stats.count(f"{self.name}.consumer_registrations")
+        self._stat_consumer_registrations.value += 1
 
     # -- Consumer chaining (Figure 10) ------------------------------------------------------
 
@@ -333,7 +374,7 @@ class TaskReservationStation(PacketProcessor):
         self.send(self.trs_list[consumer.trs],
                   DataReady(operand=consumer, kind=ReadyKind.INPUT_DATA),
                   latency=self.config.message_latency_cycles)
-        self.stats.count(f"{self.name}.ready_forwarded")
+        self._stat_ready_forwarded.value += 1
 
     # -- Data-ready handling ----------------------------------------------------------------
 
@@ -368,7 +409,7 @@ class TaskReservationStation(PacketProcessor):
             state.output_satisfied = True
             if packet.rename_address is not None:
                 state.rename_address = packet.rename_address
-        self.stats.count(f"{self.name}.data_ready")
+        self._stat_data_ready.value += 1
         self._after_operand_update(packet.operand)
 
     # -- Readiness and dispatch ---------------------------------------------------------------
@@ -377,14 +418,15 @@ class TaskReservationStation(PacketProcessor):
         entry = self._tasks.get(operand.slot)
         if entry is None:
             return
+        entry.note_progress(entry.operands[operand.index])
         if entry.decode_time is None and entry.undecoded_operands == 0:
             entry.decode_time = self.now
-            self.stats.count(f"{self.name}.tasks_decoded")
+            self._stat_tasks_decoded.value += 1
             if self.on_task_decoded is not None:
                 self.on_task_decoded(entry.task, entry.record, self.now)
         if entry.ready_time is None and entry.pending_operands == 0:
             entry.ready_time = self.now
-            self.stats.count(f"{self.name}.tasks_ready")
+            self._stat_tasks_ready.value += 1
             self.send(self.ready_queue, TaskReady(task=entry.task, record=entry.record),
                       latency=self.config.message_latency_cycles)
 
@@ -415,10 +457,10 @@ class TaskReservationStation(PacketProcessor):
                 chained_consumer=state.chained_consumer,
             )
         chain_len = sum(1 for state in entry.operands if state.chained_consumer is not None)
-        self.stats.observe("chain.forwards_per_task", chain_len)
+        self._stat_chain_forwards.add(chain_len)
         self.storage.free(entry.main_block, entry.indirect_blocks)
         del self._tasks[packet.task.slot]
-        self.stats.count(f"{self.name}.tasks_finished")
+        self._stat_tasks_finished.value += 1
         if self._reported_full:
             # The gateway dropped this TRS from its free queue after a
             # rejected allocation; tell it storage is available again.

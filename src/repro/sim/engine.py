@@ -1,9 +1,21 @@
 """The discrete-event engine: an event heap and a simulated clock.
 
-The engine is deliberately minimal and fast: events are ``(time, sequence,
-callback, args)`` tuples on a binary heap.  The sequence number gives a
-deterministic FIFO order to events scheduled for the same cycle, which keeps
-every simulation fully reproducible.
+The engine is deliberately minimal and fast.  Every event carries a
+``(time, sequence)`` key; the sequence number gives a deterministic FIFO
+order to events scheduled for the same cycle, which keeps every simulation
+fully reproducible.  Three hot-path refinements (all invisible to the event
+ordering, which stays exactly global ``(time, seq)``):
+
+* heap entries are plain ``(time, seq, event)`` tuples, so ``heapq``
+  comparisons are C-level integer compares instead of Python ``__lt__``
+  calls;
+* zero-delay ``schedule(0, ...)`` calls -- the dominant pattern on the
+  zero-latency module links -- bypass the heap entirely through a same-cycle
+  FIFO micro-queue (append/popleft instead of two O(log n) heap operations);
+* events scheduled through :meth:`Engine.schedule_unref` (the
+  :class:`repro.sim.module.SimModule` fast path, for callers that never
+  cancel) are recycled through a free-list, so steady-state simulation
+  allocates no event objects at all.
 
 Typical use::
 
@@ -14,7 +26,7 @@ Typical use::
 
 Components built on top of the engine (see :mod:`repro.sim.module`) should
 never manipulate the heap directly; they use :meth:`Engine.schedule` /
-:meth:`Engine.schedule_at`.
+:meth:`Engine.schedule_at` / :meth:`Engine.schedule_unref`.
 """
 
 from __future__ import annotations
@@ -38,11 +50,12 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Engine.schedule` so callers can cancel them.
-    Cancellation is lazy: the event stays on the heap but is skipped when it
-    is popped.
+    Cancellation is lazy: the event stays in its queue but is skipped when it
+    is popped.  Events created by :meth:`Engine.schedule_unref` are never
+    exposed to callers, which is what makes them safe to recycle.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "recyclable")
 
     def __init__(self, time: int, seq: int, callback: Callable[..., None],
                  args: Tuple[Any, ...]):
@@ -51,13 +64,11 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.recyclable = False
 
     def cancel(self) -> None:
         """Prevent the event's callback from running."""
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
@@ -68,6 +79,10 @@ class Event:
 class Engine:
     """Discrete-event simulation engine with an integer-cycle clock."""
 
+    #: Upper bound on the event free-list (far above the in-flight event
+    #: count of any realistic configuration; merely caps pathological growth).
+    _FREE_LIST_MAX = 4096
+
     def __init__(self, max_events: Optional[int] = None,
                  max_time: Optional[int] = None):
         """Create an engine.
@@ -77,7 +92,17 @@ class Engine:
                 a single :meth:`run` call (guards against livelock in tests).
             max_time: Optional hard cap on the simulated time.
         """
-        self._heap: List[Event] = []
+        #: Heap of (time, seq, Event); seq values are unique, so comparisons
+        #: never reach the Event element.
+        self._heap: List[Tuple[int, int, Event]] = []
+        #: Same-cycle FIFO: events scheduled with delay 0 for the current
+        #: cycle, in seq order (they all carry time == the cycle they were
+        #: scheduled in, and are always drained before the clock advances).
+        self._ready: List[Event] = []
+        #: Read cursor into ``_ready`` (append-and-cursor beats deque here:
+        #: the list is reset whenever it drains, which is every cycle).
+        self._ready_pos: int = 0
+        self._free: List[Event] = []
         self._now: int = 0
         self._seq: int = 0
         self._events_processed: int = 0
@@ -98,8 +123,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap) + len(self._ready) - self._ready_pos
 
     # -- Scheduling ------------------------------------------------------------
 
@@ -107,7 +132,14 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        delay = int(delay)
+        event = Event(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        if delay == 0:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
 
     def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
@@ -117,29 +149,92 @@ class Engine:
             )
         event = Event(int(time), self._seq, callback, args)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
+    def schedule_unref(self, delay: int, callback: Callable[..., None],
+                       *args: Any) -> None:
+        """Hot-path scheduling for callers that never cancel.
+
+        Identical ordering semantics to :meth:`schedule`, but the event is not
+        returned -- no reference escapes, so the engine recycles the event
+        object through a free-list after it runs.  :class:`SimModule.send`
+        and :class:`SimModule.schedule` route through here.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        delay = int(delay)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = self._now + delay
+            event.callback = callback
+            event.args = args
+        else:
+            event = Event(self._now + delay, self._seq, callback, args)
+            event.recyclable = True
+        event.seq = self._seq
+        self._seq += 1
+        if delay == 0:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._heap, (event.time, event.seq, event))
+
     # -- Execution ---------------------------------------------------------------
+
+    def _next_event(self) -> Optional[Tuple[Event, bool]]:
+        """Peek the globally next event: ``(event, from_ready)`` or None.
+
+        The next event is the one with the smallest ``(time, seq)`` across
+        the micro-queue and the heap (micro-queue events always carry the
+        current cycle as their time, heap events the current cycle or later).
+        """
+        ready = self._ready
+        pos = self._ready_pos
+        if pos < len(ready):
+            event = ready[pos]
+            if self._heap:
+                time, seq, _ = self._heap[0]
+                if time < event.time or (time == event.time and seq < event.seq):
+                    return self._heap[0][2], False
+            return event, True
+        if self._heap:
+            return self._heap[0][2], False
+        return None
+
+    def _pop(self, from_ready: bool) -> None:
+        if from_ready:
+            self._ready_pos += 1
+            if self._ready_pos >= len(self._ready):
+                self._ready.clear()
+                self._ready_pos = 0
+        else:
+            heapq.heappop(self._heap)
 
     def step(self) -> bool:
         """Execute the next non-cancelled event.
 
         Returns:
-            ``True`` if an event was executed, ``False`` if the heap is empty.
+            ``True`` if an event was executed, ``False`` if nothing is queued.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        while True:
+            head = self._next_event()
+            if head is None:
+                return False
+            event, from_ready = head
+            self._pop(from_ready)
             if event.cancelled:
                 continue
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
+            if event.recyclable and len(self._free) < self._FREE_LIST_MAX:
+                event.callback = event.args = None
+                self._free.append(event)
             return True
-        return False
 
     def run(self, until: Optional[int] = None) -> int:
-        """Run until the event heap drains (or ``until`` cycles are reached).
+        """Run until the event queues drain (or ``until`` cycles are reached).
 
         Args:
             until: Optional absolute time at which to stop.  Events scheduled
@@ -151,28 +246,73 @@ class Engine:
         Raises:
             SimulationLimitExceeded: if ``max_events`` or ``max_time`` is hit.
         """
-        while self._heap:
-            next_event = self._heap[0]
-            if until is not None and next_event.time > until:
+        # The loop below is the simulator's innermost loop: everything it
+        # touches per event is bound to a local, the ready/heap merge is
+        # inlined, and the limit checks are hoisted behind cheap flags.
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        free = self._free
+        free_max = self._FREE_LIST_MAX
+        max_events = self.max_events
+        max_time = self.max_time
+        bounded = not (max_events is None and max_time is None and until is None)
+        while True:
+            pos = self._ready_pos
+            if pos < len(ready):
+                event = ready[pos]
+                from_ready = True
+                if heap:
+                    entry = heap[0]
+                    # The heap head beats the micro-queue head only when it
+                    # was scheduled earlier for this same cycle.
+                    if entry[0] < event.time or (entry[0] == event.time
+                                                 and entry[1] < event.seq):
+                        event = entry[2]
+                        from_ready = False
+            elif heap:
+                event = heap[0][2]
+                from_ready = False
+            else:
                 break
-            if self.max_time is not None and next_event.time > self.max_time:
+            if bounded:
+                time = event.time
+                if until is not None and time > until:
+                    break
+                if max_time is not None and time > max_time:
+                    raise SimulationLimitExceeded(
+                        f"simulated time exceeded max_time={max_time}"
+                    )
+            if from_ready:
+                pos += 1
+                if pos >= len(ready):
+                    ready.clear()
+                    self._ready_pos = 0
+                else:
+                    self._ready_pos = pos
+            else:
+                heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            if event.recyclable and len(free) < free_max:
+                event.callback = event.args = None
+                free.append(event)
+            if max_events is not None and self._events_processed > max_events:
                 raise SimulationLimitExceeded(
-                    f"simulated time exceeded max_time={self.max_time}"
+                    f"event count exceeded max_events={max_events}"
                 )
-            if not self.step():
-                # The heap held only cancelled events; nothing left to run.
-                break
-            if self.max_events is not None and self._events_processed > self.max_events:
-                raise SimulationLimitExceeded(
-                    f"event count exceeded max_events={self.max_events}"
-                )
-        # Advance the clock to `until` on every exit path (events drained,
-        # next event beyond `until`, or a heap of only cancelled events) so
-        # run(until=...) always leaves now == until when time was requested.
+        # Advance the clock to `until` on every exit path (events drained or
+        # next event beyond `until`) so run(until=...) always leaves
+        # now == until when time was requested.
         if until is not None and until > self._now:
             self._now = until
         return self._now
 
     def drain_idle(self) -> bool:
-        """Return True if nothing further can happen (heap empty or all cancelled)."""
-        return all(event.cancelled for event in self._heap)
+        """Return True if nothing further can happen (queues empty or all cancelled)."""
+        return (all(entry[2].cancelled for entry in self._heap)
+                and all(event.cancelled
+                        for event in self._ready[self._ready_pos:]))

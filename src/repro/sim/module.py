@@ -12,6 +12,13 @@ Two abstractions cover everything the reproduction needs:
   top of eDRAM access latency.  ``PacketProcessor`` models exactly that: a
   FIFO input queue, a busy/idle state and a per-packet service time supplied
   by the subclass.
+
+Both classes sit on the simulation's hot path, so their statistics are
+recorded through pre-bound :mod:`repro.sim.stats` handles resolved once in
+:meth:`SimModule._bind_stat_handles` -- never by building an
+``f"{self.name}..."`` key per packet.  Subclasses that keep their own
+handles extend ``_bind_stat_handles`` (it is re-invoked if ``stats`` is
+reassigned, so late collector injection keeps working).
 """
 
 from __future__ import annotations
@@ -30,7 +37,27 @@ class SimModule:
                  stats: Optional[StatsCollector] = None):
         self.engine = engine
         self.name = name
-        self.stats = stats if stats is not None else StatsCollector()
+        self._stats = stats if stats is not None else StatsCollector()
+        self._bind_stat_handles()
+
+    @property
+    def stats(self) -> StatsCollector:
+        """The module's statistics collector."""
+        return self._stats
+
+    @stats.setter
+    def stats(self, collector: StatsCollector) -> None:
+        self._stats = collector
+        self._bind_stat_handles()
+
+    def _bind_stat_handles(self) -> None:
+        """Resolve this module's per-packet metric handles.
+
+        Called at construction and again whenever :attr:`stats` is
+        reassigned.  Subclasses recording per-packet statistics override this
+        (calling ``super()._bind_stat_handles()``) and bind their handles
+        here instead of formatting stat keys in the hot path.
+        """
 
     @property
     def now(self) -> int:
@@ -38,12 +65,20 @@ class SimModule:
         return self.engine.now
 
     def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
-        """Schedule a callback ``delay`` cycles in the future."""
-        self.engine.schedule(delay, callback, *args)
+        """Schedule a callback ``delay`` cycles in the future.
+
+        Routed through the engine's no-reference fast path: module-scheduled
+        callbacks are never cancelled, so the engine may recycle the event.
+        """
+        self.engine.schedule_unref(delay, callback, *args)
 
     def send(self, destination: "PacketProcessor", packet: Any, latency: int = 0) -> None:
-        """Deliver ``packet`` to ``destination`` after a transport latency."""
-        self.engine.schedule(latency, destination.receive, packet)
+        """Deliver ``packet`` to ``destination`` after a transport latency.
+
+        A zero-latency send goes through the engine's same-cycle micro-queue
+        (no heap traffic); either way the delivery event is recyclable.
+        """
+        self.engine.schedule_unref(latency, destination.receive, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
@@ -74,13 +109,22 @@ class PacketProcessor(SimModule):
         self._busy_since: int = 0
         self._busy_cycles: int = 0
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        stats = self._stats
+        name = self.name
+        self._stat_packets_received = stats.counter_handle(f"{name}.packets_received")
+        self._stat_packets_processed = stats.counter_handle(f"{name}.packets_processed")
+        self._stat_stalls = stats.counter_handle(f"{name}.stalls")
+
     # -- Public interface ---------------------------------------------------
 
     def receive(self, packet: Any) -> None:
         """Enqueue a packet for processing."""
         self._input_queue.append(packet)
-        self.stats.count(f"{self.name}.packets_received")
-        self._try_start()
+        self._stat_packets_received.value += 1
+        if not (self._busy or self._stalled):
+            self._try_start()
 
     @property
     def queue_length(self) -> int:
@@ -103,15 +147,39 @@ class PacketProcessor(SimModule):
         return self._busy_cycles
 
     def stall(self) -> None:
-        """Stop servicing new packets (packets still accumulate)."""
+        """Stop servicing new packets (packets still accumulate).
+
+        Idempotent: repeated back-pressure signals while already stalled do
+        not inflate the ``<name>.stalls`` statistic (one stall episode is one
+        count, however many sources assert it).
+        """
+        if self._stalled:
+            return
         self._stalled = True
-        self.stats.count(f"{self.name}.stalls")
+        self._stat_stalls.value += 1
 
     def unstall(self) -> None:
         """Resume servicing packets."""
         if self._stalled:
             self._stalled = False
             self._try_start()
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` this module spent servicing packets."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self._busy_cycles / elapsed_cycles)
+
+    def record_utilization(self, elapsed_cycles: int) -> None:
+        """Record ``busy_cycles / elapsed`` into stats as ``<name>.utilization``.
+
+        Called once at end of run (see
+        :meth:`repro.frontend.pipeline.TaskSuperscalarFrontend
+        .record_module_utilization`), so decode-rate experiments can report
+        which pipeline module saturates first.
+        """
+        self.stats.record(f"{self.name}.utilization",
+                          self.utilization(elapsed_cycles))
 
     # -- Subclass interface -----------------------------------------------------
 
@@ -146,15 +214,16 @@ class PacketProcessor(SimModule):
             return
         self._input_queue.popleft()
         self._busy = True
-        self._busy_since = self.now
+        self._busy_since = self.engine.now
         duration = self.service_time(packet)
         if duration < 0:
             raise ValueError(f"{self.name}: negative service time {duration}")
-        self.schedule(duration, self._finish, packet, duration)
+        self.engine.schedule_unref(duration, self._finish, packet, duration)
 
     def _finish(self, packet: Any, duration: int) -> None:
         self._busy = False
         self._busy_cycles += duration
-        self.stats.count(f"{self.name}.packets_processed")
+        self._stat_packets_processed.value += 1
         self.handle(packet)
-        self._try_start()
+        if self._input_queue and not self._stalled:
+            self._try_start()

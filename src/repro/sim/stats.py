@@ -1,12 +1,22 @@
 """Statistics collection for simulator components.
 
 Every module registers a :class:`StatsCollector` (usually shared across the
-whole simulation) and records three kinds of data:
+whole simulation) and records four kinds of data:
 
 * counters (``stats.count("trs.alloc_requests")``),
-* scalar accumulators with mean/min/max (``stats.record("chain.length", 3)``),
+* scalar accumulators with mean/min/max (``stats.record("queue.depth", 3)``),
+* integer histograms (``stats.observe("chain.length", 3)``), and
 * time-stamped samples (``stats.sample("window.occupancy", now, value)``)
   used by the window-occupancy analysis.
+
+The string-keyed methods are convenient but pay a key hash (and, at the call
+site, usually an f-string build) per observation -- too slow for the packet
+hot path.  Modules that record per-packet therefore resolve their metric
+names **once** at construction through :meth:`StatsCollector.counter_handle`
+/ :meth:`accumulator_handle` / :meth:`histogram_handle` /
+:meth:`sampler_handle` and call the returned handle's ``add`` in the hot
+path; a handle is a direct reference to the metric's mutable cell, so the
+per-event cost is one attribute mutation.
 
 Everything is plain Python; the experiment layer converts to whatever
 presentation it needs.
@@ -16,8 +26,29 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
+
+
+class Counter:
+    """A single named counter: the pre-bound fast path for ``count()``.
+
+    Handles are shared: every ``counter_handle(name)`` call for the same name
+    returns the same cell, so a handle-updating module and a string-keyed
+    ``count()`` caller see one value.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment the counter by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
 
 
 @dataclass
@@ -115,18 +146,60 @@ class Histogram:
         return self.items()[-1][0]
 
 
+class Sampler:
+    """Pre-bound handle for one time-series sample list."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: List[Tuple[int, float]]) -> None:
+        self.entries = entries
+
+    def add(self, time: int, value: float) -> None:
+        """Record a time-stamped sample."""
+        self.entries.append((time, value))
+
+
 class StatsCollector:
     """Shared statistics registry for a simulation run."""
 
     def __init__(self) -> None:
-        self.counters: Dict[str, int] = defaultdict(int)
+        self._counters: Dict[str, Counter] = defaultdict(Counter)
         self.accumulators: Dict[str, Accumulator] = defaultdict(Accumulator)
         self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
         self.samples: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
 
+    # -- Pre-bound handles (hot-path interface) -----------------------------
+
+    def counter_handle(self, name: str) -> Counter:
+        """The mutable :class:`Counter` cell for ``name`` (created if new)."""
+        return self._counters[name]
+
+    def accumulator_handle(self, name: str) -> Accumulator:
+        """The :class:`Accumulator` for ``name`` (created if new)."""
+        return self.accumulators[name]
+
+    def histogram_handle(self, name: str) -> Histogram:
+        """The :class:`Histogram` for ``name`` (created if new)."""
+        return self.histograms[name]
+
+    def sampler_handle(self, name: str) -> Sampler:
+        """A :class:`Sampler` appending to ``name``'s sample list."""
+        return Sampler(self.samples[name])
+
+    # -- String-keyed interface ---------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of every counter's current value (name -> int).
+
+        A fresh dict built per access: mutate counters through
+        :meth:`count` or a :meth:`counter_handle`, never through this view.
+        """
+        return {name: cell.value for name, cell in self._counters.items()}
+
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self.counters[name] += amount
+        self._counters[name].value += amount
 
     def record(self, name: str, value: float) -> None:
         """Add ``value`` to the accumulator ``name``."""
@@ -142,7 +215,8 @@ class StatsCollector:
 
     def counter(self, name: str) -> int:
         """Return the value of counter ``name`` (0 if never incremented)."""
-        return self.counters.get(name, 0)
+        cell = self._counters.get(name)
+        return 0 if cell is None else cell.value
 
     def mean(self, name: str) -> float:
         """Return the mean of accumulator ``name`` (0.0 if empty)."""
@@ -152,11 +226,29 @@ class StatsCollector:
         return acc.mean
 
     def summary(self) -> Dict[str, float]:
-        """Flat summary dictionary: counters plus accumulator means."""
+        """Flat summary dictionary of every recorded metric.
+
+        Counters appear under their own name; accumulators contribute
+        ``<name>.mean`` / ``<name>.max``; histograms contribute
+        ``<name>.count`` / ``<name>.mean`` / ``<name>.p95`` (so reports can
+        quote chain-length percentiles without reaching into internals); each
+        time series contributes its sample count as ``<name>.samples``.
+
+        When one name is used as both an accumulator and a histogram, the
+        accumulator's ``<name>.mean`` wins (histogram entries never
+        overwrite existing keys).
+        """
         result: Dict[str, float] = {}
-        for name, value in sorted(self.counters.items()):
-            result[name] = float(value)
+        for name, cell in sorted(self._counters.items()):
+            result[name] = float(cell.value)
         for name, acc in sorted(self.accumulators.items()):
             result[f"{name}.mean"] = acc.mean
             result[f"{name}.max"] = acc.maximum if acc.count else 0.0
+        for name, hist in sorted(self.histograms.items()):
+            result[f"{name}.count"] = float(hist.count)
+            result.setdefault(f"{name}.mean", hist.mean())
+            result[f"{name}.p95"] = (float(hist.percentile(0.95))
+                                     if hist.count else 0.0)
+        for name, entries in sorted(self.samples.items()):
+            result[f"{name}.samples"] = float(len(entries))
         return result

@@ -58,6 +58,13 @@ class SoftwareDecoder(SimModule):
         self.tasks_decoded = 0
         self._space_listeners: List[Callable[[], None]] = []
 
+    def _bind_stat_handles(self) -> None:
+        super()._bind_stat_handles()
+        self._stat_tasks_submitted = self._stats.counter_handle(
+            "software.tasks_submitted")
+        self._stat_tasks_decoded = self._stats.counter_handle(
+            "software.tasks_decoded")
+
     # -- Gateway-compatible interface ----------------------------------------------
 
     def can_accept(self) -> bool:
@@ -72,7 +79,7 @@ class SoftwareDecoder(SimModule):
         if not self.can_accept():
             return False
         self._decode_queue.append(record)
-        self.stats.count("software.tasks_submitted")
+        self._stat_tasks_submitted.value += 1
         self._start_next_decode()
         return True
 
@@ -111,7 +118,7 @@ class SoftwareDecoder(SimModule):
         self._decoded.add(sequence)
         self.decode_times.append(self.now)
         self.tasks_decoded += 1
-        self.stats.count("software.tasks_decoded")
+        self._stat_tasks_decoded.value += 1
         if producers:
             self._pending_producers[sequence] = producers
             for producer in producers:

@@ -10,7 +10,10 @@ cacheable, parallelisable campaigns:
   so repeated or interrupted sweeps never recompute a finished point,
 * :class:`~repro.sweep.runner.SerialRunner` and
   :class:`~repro.sweep.runner.ParallelRunner` execute the points (the latter
-  over a ``multiprocessing`` pool) with bit-identical results.
+  over a ``multiprocessing`` pool) with bit-identical results,
+* :mod:`repro.sweep.bench` pins a performance-tracking scenario suite on top
+  (``repro bench run|compare``), reporting events/sec per ``BENCH_*.json``
+  so hot-path regressions are caught by comparison with a tolerance.
 
 See ``examples/sweep_campaign.py`` for an end-to-end campaign.
 """

@@ -1,0 +1,411 @@
+"""Performance-tracking bench suite (``repro bench``).
+
+The paper's headline claim is throughput -- a frontend that decodes a task
+every ~60 ns -- so the reproduction tracks its own throughput too.  This
+module pins a small scenario suite (Table 1 operating points plus synthetic
+stress shapes), times each scenario end-to-end, and reports
+
+* **wall time** per scenario (best of ``repeat`` runs),
+* **events/sec** -- discrete events executed per second of host time, the
+  simulator's fundamental speed metric, and
+* **decoded tasks/sec** -- how fast the simulated frontend decodes tasks in
+  host time, the number an impatient experimenter actually feels.
+
+``run_suite`` writes a ``BENCH_<label>.json`` report; ``compare_reports``
+diffs two reports with a tolerance so CI (and later PRs) can tell a real
+regression from timer noise.  Every non-timing field of a report is
+deterministic -- two runs of the same suite on the same code differ only
+under the ``timing`` keys -- which is what makes a committed before/after
+pair meaningful: if the ``metrics`` sections match, the workload was
+identical and the timing ratio is a pure hot-path measurement.
+
+Typical use::
+
+    python -m repro bench run --label pre            # before a change
+    ...hack on the hot path...
+    python -m repro bench run --label post           # after
+    python -m repro bench compare BENCH_pre.json BENCH_post.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.backend.system import TaskSuperscalarSystem
+from repro.common.errors import ReproError
+from repro.sweep.runner import build_point_config, workload_params
+
+SCHEMA = "repro.bench/1"
+
+#: Report keys that legitimately differ between two runs of the same code.
+TIMING_KEYS = ("timing", "host")
+
+
+class BenchError(ReproError):
+    """Raised for malformed bench reports or impossible comparisons."""
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned point of the bench suite.
+
+    ``params`` uses the sweep parameter language (``workload``, ``num_cores``,
+    ``scale_factor``, ``max_tasks``, ``fast_generator``, dotted config
+    overrides, ``workload.<knob>`` generator arguments), so every scenario is
+    reproducible through :mod:`repro.sweep` as well.  ``quick_overrides`` are
+    applied on top for ``--quick`` runs, shrinking the trace while keeping the
+    configuration shape.
+    """
+
+    name: str
+    description: str
+    params: Dict[str, object]
+    quick_overrides: Dict[str, object] = field(default_factory=dict)
+
+    def effective_params(self, quick: bool = False) -> Dict[str, object]:
+        """The parameter dict for a run (quick overrides applied if asked)."""
+        merged = dict(self.params)
+        if quick:
+            merged.update(self.quick_overrides)
+        return merged
+
+
+#: The pinned suite.  Table 1 operating points exercise the real benchmark
+#: traces at the paper's default pipeline (8 TRS / 2 ORT / 2 OVT); the
+#: synthetic shapes stress the two axes the paper's design-space section
+#: cares about (operand pressure and creation-stream dependency distance).
+SUITE: List[BenchScenario] = [
+    BenchScenario(
+        name="cholesky",
+        description="Table 1 Cholesky through the default Table II pipeline",
+        params={"workload": "Cholesky", "num_cores": 128, "scale_factor": 1.0,
+                "max_tasks": 2000, "seed": 0},
+        quick_overrides={"scale_factor": 0.4, "max_tasks": 300},
+    ),
+    BenchScenario(
+        name="h264",
+        description="Table 1 H264 (deep dependency chains, inout traffic)",
+        params={"workload": "H264", "num_cores": 128, "scale_factor": 1.0,
+                "max_tasks": 1500, "seed": 0},
+        quick_overrides={"scale_factor": 0.5, "max_tasks": 250},
+    ),
+    BenchScenario(
+        name="matmul_decode",
+        description="Table 1 MatMul with the fast generator (decode-rate shape)",
+        params={"workload": "MatMul", "num_cores": 256, "scale_factor": 1.0,
+                "fast_generator": True, "max_tasks": 1500, "seed": 0},
+        quick_overrides={"scale_factor": 0.4, "max_tasks": 250},
+    ),
+    BenchScenario(
+        name="operand_pressure",
+        description="random_dag with 8 extra inputs per task (ORT/OVT stress)",
+        params={"workload": "random_dag", "num_cores": 64, "seed": 0,
+                "fast_generator": True, "workload.width": 24,
+                "workload.depth": 48, "workload.extra_inputs": 8},
+        quick_overrides={"workload.depth": 10},
+    ),
+    BenchScenario(
+        name="window_pressure",
+        description="pipeline_chain with dependency distance 64 (window stress)",
+        params={"workload": "pipeline_chain", "num_cores": 64, "seed": 0,
+                "fast_generator": True, "workload.width": 16,
+                "workload.depth": 64, "workload.dep_distance": 64},
+        quick_overrides={"workload.depth": 16},
+    ),
+]
+
+
+def scenario_names() -> List[str]:
+    """Names of the pinned suite scenarios, in suite order."""
+    return [scenario.name for scenario in SUITE]
+
+
+def _generate_trace(params: Dict[str, object]):
+    from repro.experiments.common import experiment_trace
+
+    max_tasks = params.get("max_tasks")
+    return experiment_trace(
+        str(params["workload"]),
+        scale_factor=float(params.get("scale_factor", 1.0)),
+        seed=int(params.get("seed", 0)),
+        max_tasks=None if max_tasks is None else int(max_tasks),
+        **workload_params(params))
+
+
+def run_scenario(scenario: BenchScenario, quick: bool = False,
+                 repeat: int = 1) -> Dict[str, object]:
+    """Time one scenario and return its report entry.
+
+    The trace is generated outside the timed region (trace generation is not
+    the hot path under measurement); each repeat builds a fresh system so runs
+    are independent, and the fastest wall time is reported (the standard
+    benchmarking defence against host noise).
+    """
+    if repeat < 1:
+        raise BenchError(f"repeat must be >= 1, got {repeat}")
+    params = scenario.effective_params(quick)
+    config = build_point_config(params)
+    trace = _generate_trace(params)
+    best_wall = None
+    result = None
+    events = 0
+    for _ in range(repeat):
+        system = TaskSuperscalarSystem(config)
+        start = time.perf_counter()
+        result = system.run(trace)
+        wall = time.perf_counter() - start
+        events = system.engine.events_processed
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    wall = max(best_wall, 1e-9)
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "params": {key: params[key] for key in sorted(params)},
+        "metrics": {
+            "num_tasks": result.num_tasks,
+            "tasks_decoded": result.tasks_decoded,
+            "events": events,
+            "makespan_cycles": result.makespan_cycles,
+        },
+        "timing": {
+            "wall_seconds": wall,
+            "events_per_sec": events / wall,
+            "decoded_tasks_per_sec": result.tasks_decoded / wall,
+        },
+    }
+
+
+def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
+              only: Optional[Sequence[str]] = None,
+              scenarios: Optional[Sequence[BenchScenario]] = None,
+              progress=None) -> Dict[str, object]:
+    """Run the (possibly filtered) suite and return the report document."""
+    pool = list(scenarios) if scenarios is not None else list(SUITE)
+    if only:
+        wanted = {name.lower() for name in only}
+        known = {scenario.name.lower() for scenario in pool}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise BenchError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}")
+        pool = [scenario for scenario in pool if scenario.name.lower() in wanted]
+    entries = []
+    for scenario in pool:
+        entry = run_scenario(scenario, quick=quick, repeat=repeat)
+        entries.append(entry)
+        if progress is not None:
+            progress(entry)
+    total_wall = sum(entry["timing"]["wall_seconds"] for entry in entries)
+    total_events = sum(entry["metrics"]["events"] for entry in entries)
+    total_decoded = sum(entry["metrics"]["tasks_decoded"] for entry in entries)
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "quick": bool(quick),
+        "repeat": int(repeat),
+        "scenarios": entries,
+        "totals": {
+            "events": total_events,
+            "tasks_decoded": total_decoded,
+        },
+        "timing": {
+            "wall_seconds": total_wall,
+            "events_per_sec": total_events / max(total_wall, 1e-9),
+            "decoded_tasks_per_sec": total_decoded / max(total_wall, 1e-9),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+
+# -- Report I/O --------------------------------------------------------------
+
+
+def report_path(label: str, root: str = ".") -> str:
+    """The conventional report location: ``BENCH_<label>.json`` at ``root``."""
+    return os.path.join(root, f"BENCH_{label}.json")
+
+
+def write_report(report: Dict[str, object], path: str) -> str:
+    """Atomically write ``report`` to ``path`` (tmp + rename) and return it."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load and schema-check a bench report."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise BenchError(f"cannot read bench report {path}: {error}")
+    if not isinstance(report, dict) or report.get("schema") != SCHEMA:
+        raise BenchError(
+            f"{path} is not a {SCHEMA} report "
+            f"(schema={report.get('schema')!r})" if isinstance(report, dict)
+            else f"{path} is not a bench report")
+    return report
+
+
+def non_timing_view(report: Dict[str, object]) -> Dict[str, object]:
+    """The report with every host/timing field removed.
+
+    Two runs of the same suite on the same code must agree on this view
+    bit-for-bit; the determinism test in ``tests/test_bench.py`` pins that.
+    """
+    def strip(node):
+        if isinstance(node, dict):
+            return {key: strip(value) for key, value in node.items()
+                    if key not in TIMING_KEYS}
+        if isinstance(node, list):
+            return [strip(item) for item in node]
+        return node
+
+    return strip(report)
+
+
+# -- Comparison --------------------------------------------------------------
+
+
+@dataclass
+class ScenarioDelta:
+    """Speed ratio of one scenario between two reports."""
+
+    name: str
+    old_events_per_sec: float
+    new_events_per_sec: float
+    metrics_match: bool
+
+    @property
+    def ratio(self) -> float:
+        """new/old events-per-second (>1 means the new run is faster)."""
+        if self.old_events_per_sec <= 0:
+            return 0.0
+        return self.new_events_per_sec / self.old_events_per_sec
+
+
+@dataclass
+class Comparison:
+    """Outcome of diffing two bench reports."""
+
+    deltas: List[ScenarioDelta]
+    missing: List[str]
+    tolerance: float
+
+    @property
+    def overall_ratio(self) -> float:
+        """Geometric mean of the per-scenario speed ratios."""
+        ratios = [delta.ratio for delta in self.deltas if delta.ratio > 0]
+        if not ratios:
+            return 0.0
+        product = 1.0
+        for ratio in ratios:
+            product *= ratio
+        return product ** (1.0 / len(ratios))
+
+    @property
+    def regressions(self) -> List[ScenarioDelta]:
+        """Scenarios slower than ``1 - tolerance`` of the old run."""
+        return [delta for delta in self.deltas
+                if delta.ratio < 1.0 - self.tolerance]
+
+    @property
+    def mismatches(self) -> List[str]:
+        """Scenarios whose deterministic metrics differ between reports.
+
+        A mismatch means the two reports simulated different work (different
+        code semantics or different suite pins), so their timing ratio is not
+        a pure performance statement.
+        """
+        return [delta.name for delta in self.deltas if not delta.metrics_match]
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario regressed beyond the tolerance."""
+        return not self.regressions
+
+    def format(self) -> str:
+        """Human-readable comparison table."""
+        lines = [f"{'scenario':18s} {'old ev/s':>12s} {'new ev/s':>12s} "
+                 f"{'ratio':>7s}"]
+        for delta in self.deltas:
+            flag = ""
+            if not delta.metrics_match:
+                flag = "  [metrics differ]"
+            elif delta.ratio < 1.0 - self.tolerance:
+                flag = "  [REGRESSION]"
+            lines.append(f"{delta.name:18s} {delta.old_events_per_sec:>12.0f} "
+                         f"{delta.new_events_per_sec:>12.0f} "
+                         f"{delta.ratio:>6.2f}x{flag}")
+        for name in self.missing:
+            lines.append(f"{name:18s} (present in only one report)")
+        lines.append(f"overall: {self.overall_ratio:.2f}x "
+                     f"(geomean, tolerance {self.tolerance:.0%})")
+        return "\n".join(lines)
+
+
+def compare_reports(old: Dict[str, object], new: Dict[str, object],
+                    tolerance: float = 0.05) -> Comparison:
+    """Diff two bench reports scenario-by-scenario.
+
+    Args:
+        old: The baseline report (typically the committed ``BENCH_pre``).
+        new: The candidate report.
+        tolerance: Allowed fractional slowdown before a scenario counts as a
+            regression (timer noise on shared CI machines easily reaches a few
+            percent).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise BenchError(f"tolerance must be in [0, 1), got {tolerance}")
+    old_entries = {entry["name"]: entry for entry in old.get("scenarios", ())}
+    new_entries = {entry["name"]: entry for entry in new.get("scenarios", ())}
+    shared = [name for name in old_entries if name in new_entries]
+    if not shared:
+        raise BenchError("the two reports share no scenarios")
+    deltas = []
+    for name in shared:
+        old_entry, new_entry = old_entries[name], new_entries[name]
+        deltas.append(ScenarioDelta(
+            name=name,
+            old_events_per_sec=float(old_entry["timing"]["events_per_sec"]),
+            new_events_per_sec=float(new_entry["timing"]["events_per_sec"]),
+            metrics_match=(old_entry.get("metrics") == new_entry.get("metrics")
+                           and old_entry.get("params") == new_entry.get("params")),
+        ))
+    missing = sorted(set(old_entries) ^ set(new_entries))
+    return Comparison(deltas=deltas, missing=missing, tolerance=tolerance)
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable per-scenario throughput table for one report."""
+    lines = [f"bench suite '{report['label']}'"
+             f"{' (quick)' if report.get('quick') else ''}:"]
+    lines.append(f"{'scenario':18s} {'tasks':>7s} {'events':>10s} "
+                 f"{'wall':>8s} {'events/s':>11s} {'decoded/s':>10s}")
+    for entry in report["scenarios"]:
+        metrics, timing = entry["metrics"], entry["timing"]
+        lines.append(f"{entry['name']:18s} {metrics['num_tasks']:>7d} "
+                     f"{metrics['events']:>10d} "
+                     f"{timing['wall_seconds']:>7.2f}s "
+                     f"{timing['events_per_sec']:>11.0f} "
+                     f"{timing['decoded_tasks_per_sec']:>10.0f}")
+    timing = report["timing"]
+    lines.append(f"{'total':18s} {report['totals']['tasks_decoded']:>7d} "
+                 f"{report['totals']['events']:>10d} "
+                 f"{timing['wall_seconds']:>7.2f}s "
+                 f"{timing['events_per_sec']:>11.0f} "
+                 f"{timing['decoded_tasks_per_sec']:>10.0f}")
+    return "\n".join(lines)

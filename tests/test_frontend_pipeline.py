@@ -168,6 +168,25 @@ class TestMeasurements:
         assert result.stats.get("gateway.tasks_admitted") == 35
         assert result.stats.get("scheduler.completions") == 35
 
+    def test_module_utilization_recorded(self, cholesky5):
+        # End-of-run utilization: one accumulator entry per pipeline module,
+        # bounded by [0, 1], and positive for modules that did work.
+        system = TaskSuperscalarSystem(default_table2_config(4))
+        result = system.run(cholesky5)
+        for module in system.frontend.modules():
+            value = result.stats.get(f"{module.name}.utilization.mean")
+            assert value is not None, f"missing utilization for {module.name}"
+            assert 0.0 <= value <= 1.0
+        assert result.stats["gateway.utilization.mean"] > 0.0
+        assert result.stats["trs0.utilization.mean"] > 0.0
+
+    def test_chain_histogram_summarised(self, cholesky5):
+        # The chain-length histogram surfaces count/mean/p95 in the summary
+        # so reports can quote the paper's percentile-style claims.
+        result, _ = run_small(cholesky5, num_cores=4)
+        assert result.stats["chain.forwards_per_task.count"] == 35
+        assert result.stats["chain.forwards_per_task.p95"] >= 0.0
+
 
 class TestBackPressure:
     def test_full_window_backpressures_the_generator(self):

@@ -72,6 +72,109 @@ class TestScheduling:
         assert engine.events_processed == 5
 
 
+class TestSameCycleFastPath:
+    """Zero-delay events ride a FIFO micro-queue but keep global order."""
+
+    def test_zero_delay_interleaves_with_heap_events_by_schedule_order(self):
+        # A heap event at the same cycle scheduled *earlier* must still run
+        # before a later zero-delay event, and vice versa.
+        engine = Engine()
+        order = []
+        engine.schedule_at(0, order.append, "heap-first")   # heap, seq 0
+        engine.schedule(0, order.append, "micro")           # micro-queue, seq 1
+        engine.schedule_at(0, order.append, "heap-last")    # heap, seq 2
+        engine.schedule(5, order.append, "later")
+        engine.run()
+        assert order == ["heap-first", "micro", "heap-last", "later"]
+
+    def test_nested_zero_delay_runs_same_cycle_in_fifo_order(self):
+        engine = Engine()
+        order = []
+
+        def outer():
+            order.append(("outer", engine.now))
+            engine.schedule(0, inner, "a")
+            engine.schedule(0, inner, "b")
+
+        def inner(tag):
+            order.append((tag, engine.now))
+
+        engine.schedule(7, outer)
+        engine.run()
+        assert order == [("outer", 7), ("a", 7), ("b", 7)]
+
+    def test_zero_delay_event_can_be_cancelled(self):
+        engine = Engine()
+        seen = []
+        event = engine.schedule(0, seen.append, "cancelled")
+        engine.schedule(0, seen.append, "kept")
+        event.cancel()
+        engine.run()
+        assert seen == ["kept"]
+
+    def test_pending_events_counts_micro_queue(self):
+        engine = Engine()
+        engine.schedule(0, lambda: None)
+        engine.schedule(3, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_run_until_executes_same_cycle_events(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0, seen.append, "now")
+        assert engine.run(until=0) == 0
+        assert seen == ["now"]
+
+    def test_step_drains_micro_queue_and_heap_in_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(0, order.append, "zero")
+        engine.schedule(2, order.append, "two")
+        assert engine.step() and order == ["zero"]
+        assert engine.step() and order == ["zero", "two"]
+        assert engine.step() is False
+
+
+class TestScheduleUnref:
+    """The no-reference fast path recycles events without changing order."""
+
+    def test_matches_schedule_ordering(self):
+        engine = Engine()
+        order = []
+        engine.schedule_unref(4, order.append, "u4")
+        engine.schedule(2, order.append, "c2")
+        engine.schedule_unref(0, order.append, "u0")
+        engine.schedule_unref(2, order.append, "u2")
+        engine.run()
+        assert order == ["u0", "c2", "u2", "u4"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule_unref(-1, lambda: None)
+
+    def test_events_are_recycled_across_waves(self):
+        # Thousands of unref events must execute correctly while the engine
+        # reuses a bounded pool of event objects.
+        engine = Engine()
+        seen = []
+
+        def wave(round_index):
+            seen.append((round_index, engine.now))
+            if round_index < 200:
+                engine.schedule_unref(1, wave, round_index + 1)
+                engine.schedule_unref(0, lambda: None)
+
+        engine.schedule_unref(1, wave, 0)
+        engine.run()
+        assert [r for r, _ in seen] == list(range(201))
+        assert [t for _, t in seen] == list(range(1, 202))
+        assert engine.events_processed == 201 + 200
+        assert len(engine._free) >= 1  # pool is populated and bounded
+        assert len(engine._free) <= Engine._FREE_LIST_MAX
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):
         engine = Engine()

@@ -73,6 +73,30 @@ class TestPacketProcessor:
         assert stats.counter("proc.packets_received") == 4
         assert stats.counter("proc.packets_processed") == 4
 
+    def test_stall_counter_is_idempotent(self):
+        # Regression: repeated back-pressure signals while already stalled
+        # used to inflate the stall statistic; one episode is one count.
+        engine = Engine()
+        proc = RecordingProcessor(engine)
+        proc.stall()
+        proc.stall()
+        proc.stall()
+        assert proc.stats.counter("proc.stalls") == 1
+        proc.unstall()
+        proc.stall()
+        assert proc.stats.counter("proc.stalls") == 2
+
+    def test_utilization_and_recording(self):
+        engine = Engine()
+        proc = RecordingProcessor(engine, per_packet=10)
+        for i in range(3):
+            proc.receive(i)
+        engine.run()  # busy 30 cycles total
+        assert proc.utilization(60) == pytest.approx(0.5)
+        assert proc.utilization(0) == 0.0
+        proc.record_utilization(60)
+        assert proc.stats.summary()["proc.utilization.mean"] == pytest.approx(0.5)
+
 
 class TestStatsCollector:
     def test_counters_default_to_zero(self):
@@ -106,6 +130,58 @@ class TestStatsCollector:
         summary = stats.summary()
         assert summary["a"] == 2.0
         assert summary["b.mean"] == pytest.approx(3.0)
+
+    def test_summary_includes_histograms_and_sample_counts(self):
+        # Histograms and time series used to be silently dropped.
+        stats = StatsCollector()
+        stats.observe("chain.length", 1, weight=95)
+        stats.observe("chain.length", 7, weight=5)
+        stats.sample("window", 10, 3.0)
+        stats.sample("window", 20, 5.0)
+        summary = stats.summary()
+        assert summary["chain.length.count"] == 100.0
+        assert summary["chain.length.mean"] == pytest.approx(1.3)
+        assert summary["chain.length.p95"] == 1.0
+        assert summary["window.samples"] == 2.0
+
+    def test_counter_handle_shares_the_cell_with_string_api(self):
+        stats = StatsCollector()
+        handle = stats.counter_handle("hits")
+        handle.add()
+        handle.add(2)
+        stats.count("hits", 4)
+        assert stats.counter("hits") == 7
+        assert stats.counter_handle("hits") is handle
+        assert stats.counters["hits"] == 7
+
+    def test_accumulator_and_histogram_handles(self):
+        stats = StatsCollector()
+        acc = stats.accumulator_handle("x")
+        acc.add(10.0)
+        stats.record("x", 20.0)
+        assert stats.mean("x") == pytest.approx(15.0)
+        hist = stats.histogram_handle("h")
+        hist.add(3)
+        stats.observe("h", 5)
+        assert stats.histograms["h"].count == 2
+
+    def test_sampler_handle_appends_to_the_series(self):
+        stats = StatsCollector()
+        sampler = stats.sampler_handle("occupancy")
+        sampler.add(5, 1.0)
+        stats.sample("occupancy", 9, 2.0)
+        assert stats.samples["occupancy"] == [(5, 1.0), (9, 2.0)]
+
+    def test_reassigning_module_stats_rebinds_handles(self):
+        # PacketProcessor binds its counter handles at construction; swapping
+        # the collector afterwards must re-point them at the new one.
+        engine = Engine()
+        proc = RecordingProcessor(engine)
+        replacement = StatsCollector()
+        proc.stats = replacement
+        proc.stall()
+        assert replacement.counter("proc.stalls") == 1
+        assert proc.stats is replacement
 
 
 class TestHistogram:
