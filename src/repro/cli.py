@@ -8,7 +8,10 @@ Python:
   benchmark through the task-superscalar pipeline (add ``--software`` for the
   StarSs software-runtime baseline, ``--compare`` for both).
 * ``python -m repro trace --workload MatMul --output matmul.jsonl`` -- write a
-  task trace to disk for external tools.
+  task trace to disk for external tools (``.gz`` output is gzipped).
+* ``python -m repro trace bake|ls|gc`` -- manage the packed trace store that
+  sweeps use to generate each trace once and share it across the whole
+  worker fleet (:mod:`repro.trace.store`).
 * ``python -m repro experiment table1|table2|fig1|fig3`` -- regenerate the
   cheap paper artefacts (the expensive figure sweeps live in ``benchmarks/``
   and ``repro.experiments.runner``).
@@ -19,9 +22,10 @@ Python:
 * ``python -m repro synth list|stress`` -- inspect the synthetic task-graph
   families and run the design-space stress campaigns
   (:mod:`repro.experiments.synthetic_stress`).
-* ``python -m repro bench run|compare`` -- time the pinned performance
-  suite, write a ``BENCH_<label>.json`` report, and diff two reports with a
-  regression tolerance (:mod:`repro.sweep.bench`).
+* ``python -m repro bench run|compare|trace`` -- time the pinned performance
+  suite, write a ``BENCH_<label>.json`` report, diff two reports with a
+  regression tolerance, or measure packed trace-store loads against cold
+  generation (:mod:`repro.sweep.bench`).
 
 ``--workload`` accepts any registered workload, case-insensitively, including
 parameterized synthetic specs such as ``"random_dag:width=16,dep_distance=64"``
@@ -80,10 +84,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_store(args: argparse.Namespace):
+    from repro.trace.store import DEFAULT_STORE_ROOT, TraceStore
+
+    return TraceStore(args.store or DEFAULT_STORE_ROOT)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    trace = registry.generate(args.workload, scale=args.scale, seed=args.seed)
-    write_trace(trace, args.output)
-    print(f"wrote {len(trace)} tasks to {args.output}")
+    action = getattr(args, "trace_action", None)
+    if action is None:  # legacy form: repro trace --workload X --output Y
+        if not args.workload or not args.output:
+            raise SystemExit("repro trace: --workload and --output are required "
+                             "(or use a subcommand: bake, ls, gc)")
+        trace = registry.generate(args.workload, scale=args.scale, seed=args.seed)
+        write_trace(trace, args.output)
+        print(f"wrote {len(trace)} tasks to {args.output}")
+        return 0
+
+    if action == "bake":
+        import time
+
+        from repro.sweep.runner import (generate_trace_for_key,
+                                        trace_key_for_params)
+
+        store = _trace_store(args)
+        for workload in args.workload:
+            key_params, digest = trace_key_for_params({
+                "workload": workload, "scale_factor": args.scale_factor,
+                "seed": args.seed, "max_tasks": args.max_tasks})
+            start = time.perf_counter()
+            packed, baked = store.get_or_bake(
+                key_params, lambda kp=key_params: generate_trace_for_key(kp))
+            elapsed = time.perf_counter() - start
+            origin = "baked " if baked else "cached"
+            print(f"  [{origin}] {key_params['workload']:24s} "
+                  f"{len(packed):7d} tasks  {elapsed:6.2f}s  "
+                  f"{digest[:12]}  {store.path_for(digest)}")
+        print(f"trace store: {store.root} ({len(store)} baked traces)")
+        return 0
+
+    if action == "ls":
+        store = _trace_store(args)
+        entries = store.entries()
+        if not entries:
+            print(f"trace store {store.root} is empty")
+            return 0
+        print(f"{'digest':14s} {'workload':28s} {'tasks':>8s} {'operands':>9s} "
+              f"{'bytes':>10s}")
+        total = 0
+        for entry in entries:
+            workload = str(entry.params.get("workload", entry.name))
+            total += entry.size_bytes
+            print(f"{entry.digest[:12]:14s} {workload:28s} "
+                  f"{entry.num_tasks:>8d} {entry.num_operands:>9d} "
+                  f"{entry.size_bytes:>10d}")
+        print(f"{len(entries)} traces, {total} bytes under {store.root}")
+        return 0
+
+    # action == "gc"
+    store = _trace_store(args)
+    removed = store.gc(drop_all=args.all, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    what = ("all entries" if args.all
+            else "stale, corrupt or orphaned-temp files")
+    print(f"{verb} {len(removed)} file(s) ({what}) under {store.root}; "
+          f"{len(store)} entries {'present' if args.dry_run else 'remain'}")
+    for path in removed:
+        print(f"  {path}")
     return 0
 
 
@@ -109,7 +176,11 @@ def _make_runner(args: argparse.Namespace):
     from repro.sweep.cache import DEFAULT_CACHE_ROOT
 
     cache = None if args.no_cache else ResultCache(args.artifacts or DEFAULT_CACHE_ROOT)
-    return default_runner(jobs=args.jobs, cache=cache), cache
+    trace_store = getattr(args, "trace_store", None)
+    if getattr(args, "no_trace_store", False):
+        trace_store = False
+    return default_runner(jobs=args.jobs, cache=cache,
+                          trace_store=trace_store), cache
 
 
 def _print_artifacts(cache) -> None:
@@ -172,6 +243,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
         return 0
 
+    if args.action == "trace":
+        entry = bench.run_trace_bench(quick=args.quick, repeat=args.repeat,
+                                      store_root=args.store)
+        print(bench.format_trace_bench(entry))
+        if args.output:
+            bench.write_report(entry, args.output)
+            print(f"wrote {args.output}")
+        if not entry["metrics_match"]:
+            print("FAIL: packed load returned a different trace than cold "
+                  "generation")
+            return 1
+        if args.min_speedup and entry["timing"]["speedup"] < args.min_speedup:
+            print(f"FAIL: packed load speedup "
+                  f"{entry['timing']['speedup']:.1f}x is below the required "
+                  f"{args.min_speedup:.1f}x")
+            return 1
+        return 0
+
     # action == "compare"
     old = bench.load_report(args.old)
     new = bench.load_report(args.new)
@@ -220,6 +309,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     run = runner.run(spec, progress=progress)
     print(run.summary())
+    store = getattr(runner, "trace_store", None)
+    if store is not None:
+        print(f"{run.trace_summary()} (store: {store.root})")
     _print_artifacts(cache)
     return 0
 
@@ -250,13 +342,38 @@ def build_parser() -> argparse.ArgumentParser:
                           help="check the schedule against the gold dependency graph")
     simulate.set_defaults(func=_cmd_simulate)
 
-    trace = subparsers.add_parser("trace", help="write a workload trace to disk")
-    trace.add_argument("--workload", required=True, type=_workload_arg,
+    trace = subparsers.add_parser(
+        "trace", help="export workload traces / manage the packed trace store")
+    trace.add_argument("--workload", type=_workload_arg,
                        metavar="NAME[:k=v,...]")
     trace.add_argument("--scale", type=int, default=None)
     trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--output", required=True)
-    trace.set_defaults(func=_cmd_trace)
+    trace.add_argument("--output",
+                       help="JSON-lines output path (.gz = gzipped)")
+    trace.set_defaults(func=_cmd_trace, trace_action=None)
+    trace_sub = trace.add_subparsers(dest="trace_action", required=False)
+    trace_bake = trace_sub.add_parser(
+        "bake", help="generate + pack workload traces into the trace store")
+    trace_bake.add_argument("--workload", action="append", required=True,
+                            type=_workload_arg, metavar="NAME[:k=v,...]",
+                            help="workload to bake (repeatable)")
+    trace_bake.add_argument("--scale-factor", type=float, default=1.0)
+    trace_bake.add_argument("--seed", type=int, default=0)
+    trace_bake.add_argument("--max-tasks", type=int, default=None)
+    trace_bake.add_argument("--store", default=None,
+                            help="trace store root (default "
+                                 ".repro-artifacts/sweeps/traces)")
+    trace_bake.set_defaults(func=_cmd_trace)
+    trace_ls = trace_sub.add_parser("ls", help="list baked traces")
+    trace_ls.add_argument("--store", default=None)
+    trace_ls.set_defaults(func=_cmd_trace)
+    trace_gc = trace_sub.add_parser(
+        "gc", help="drop stale/corrupt (or, with --all, every) baked trace")
+    trace_gc.add_argument("--store", default=None)
+    trace_gc.add_argument("--all", action="store_true",
+                          help="remove every entry, not just unreadable ones")
+    trace_gc.add_argument("--dry-run", action="store_true")
+    trace_gc.set_defaults(func=_cmd_trace)
 
     experiment = subparsers.add_parser("experiment",
                                        help="regenerate a (cheap) paper artefact")
@@ -287,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default .repro-artifacts/sweeps)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute every point; write nothing to disk")
+    sweep.add_argument("--trace-store", default=None,
+                       help="packed trace store root (default "
+                            "<artifacts>/traces; shared across campaigns)")
+    sweep.add_argument("--no-trace-store", action="store_true",
+                       help="regenerate traces per process instead of baking "
+                            "them once")
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = subparsers.add_parser(
@@ -306,6 +429,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--only", action="append", metavar="SCENARIO",
                            help="run only the named scenario (repeatable)")
     bench_run.set_defaults(func=_cmd_bench)
+    bench_trace = bench_sub.add_parser(
+        "trace", help="time packed trace-store load vs cold generation")
+    bench_trace.add_argument("--quick", action="store_true",
+                             help="smaller workload so the bench finishes fast")
+    bench_trace.add_argument("--repeat", type=int, default=3,
+                             help="time the packed load N times, report the "
+                                  "fastest")
+    bench_trace.add_argument("--store", default=None,
+                             help="bake into this store root instead of a "
+                                  "temporary directory")
+    bench_trace.add_argument("--output", default=None,
+                             help="also write the entry as JSON")
+    bench_trace.add_argument("--min-speedup", type=float, default=0.0,
+                             help="exit 1 unless packed load beats cold "
+                                  "generation by this factor")
+    bench_trace.set_defaults(func=_cmd_bench)
     bench_compare = bench_sub.add_parser(
         "compare", help="diff two bench reports with a tolerance")
     bench_compare.add_argument("old", help="baseline BENCH_*.json")

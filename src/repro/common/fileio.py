@@ -1,0 +1,46 @@
+"""Atomic file writes shared by the on-disk artifact stores.
+
+The sweep result cache, the bench report writer and the packed trace store
+all persist artifacts that other processes may read concurrently (or that a
+kill mid-write must never truncate).  They share one primitive: write to a
+``mkstemp`` temp file in the destination directory, then ``os.replace`` it
+into place -- atomic on POSIX, so readers only ever observe absent or
+complete files.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> Path:
+    """Atomically write ``payload`` to ``path`` (temp file + ``os.replace``).
+
+    Parent directories are created as needed; on any failure the temp file
+    is removed so no partial artifact is left behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically write ``text`` to ``path`` (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -13,16 +13,24 @@ cacheable, parallelisable campaigns:
   over a ``multiprocessing`` pool) with bit-identical results,
 * :mod:`repro.sweep.bench` pins a performance-tracking scenario suite on top
   (``repro bench run|compare``), reporting events/sec per ``BENCH_*.json``
-  so hot-path regressions are caught by comparison with a tolerance.
+  so hot-path regressions are caught by comparison with a tolerance,
+* the runners pair with a :class:`~repro.trace.store.TraceStore`
+  (``<artifacts>/traces``, derived from the result cache by default): the
+  parent bakes each distinct task trace once as a packed binary before
+  fanning out, and every worker loads it by content address instead of
+  regenerating (``SweepRun.trace_summary()`` reports the amortization).
 
 See ``examples/sweep_campaign.py`` for an end-to-end campaign.
 """
 
 from repro.sweep.cache import DEFAULT_CACHE_ROOT, ResultCache
 from repro.sweep.runner import (ParallelRunner, SerialRunner, SweepRun,
-                                adaptive_chunksize, default_runner,
-                                execute_point, workload_params)
+                                adaptive_chunksize, configure_trace_store,
+                                default_runner, execute_point,
+                                resolve_trace_store, trace_for_params,
+                                workload_params)
 from repro.sweep.spec import SweepPoint, SweepSpec, parse_axis_value
+from repro.trace.store import TraceStore
 
 __all__ = [
     "DEFAULT_CACHE_ROOT",
@@ -32,9 +40,13 @@ __all__ = [
     "SweepPoint",
     "SweepRun",
     "SweepSpec",
+    "TraceStore",
     "adaptive_chunksize",
+    "configure_trace_store",
     "default_runner",
     "execute_point",
     "parse_axis_value",
+    "resolve_trace_store",
+    "trace_for_params",
     "workload_params",
 ]

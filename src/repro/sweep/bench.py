@@ -141,16 +141,21 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
                  repeat: int = 1) -> Dict[str, object]:
     """Time one scenario and return its report entry.
 
-    The trace is generated outside the timed region (trace generation is not
-    the hot path under measurement); each repeat builds a fresh system so runs
-    are independent, and the fastest wall time is reported (the standard
+    The trace is generated outside the simulation timing (trace generation is
+    not the hot path under measurement) but timed separately, so reports
+    split the fixed workload-setup cost (``trace_seconds``) from the
+    simulation cost (``simulate_seconds``, aliased as the historical
+    ``wall_seconds``).  Each repeat builds a fresh system so runs are
+    independent, and the fastest wall time is reported (the standard
     benchmarking defence against host noise).
     """
     if repeat < 1:
         raise BenchError(f"repeat must be >= 1, got {repeat}")
     params = scenario.effective_params(quick)
     config = build_point_config(params)
+    trace_start = time.perf_counter()
     trace = _generate_trace(params)
+    trace_seconds = time.perf_counter() - trace_start
     best_wall = None
     result = None
     events = 0
@@ -175,6 +180,8 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
         },
         "timing": {
             "wall_seconds": wall,
+            "trace_seconds": trace_seconds,
+            "simulate_seconds": wall,
             "events_per_sec": events / wall,
             "decoded_tasks_per_sec": result.tasks_decoded / wall,
         },
@@ -203,6 +210,8 @@ def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
         if progress is not None:
             progress(entry)
     total_wall = sum(entry["timing"]["wall_seconds"] for entry in entries)
+    total_trace = sum(entry["timing"].get("trace_seconds", 0.0)
+                      for entry in entries)
     total_events = sum(entry["metrics"]["events"] for entry in entries)
     total_decoded = sum(entry["metrics"]["tasks_decoded"] for entry in entries)
     return {
@@ -217,6 +226,8 @@ def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
         },
         "timing": {
             "wall_seconds": total_wall,
+            "trace_seconds": total_trace,
+            "simulate_seconds": total_wall,
             "events_per_sec": total_events / max(total_wall, 1e-9),
             "decoded_tasks_per_sec": total_decoded / max(total_wall, 1e-9),
         },
@@ -225,6 +236,123 @@ def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
             "platform": platform.platform(),
         },
     }
+
+
+# -- Trace-load bench --------------------------------------------------------
+
+#: The workload used by :func:`run_trace_bench`: a large synthetic trace whose
+#: generation cost is dominated by Python object construction -- exactly what
+#: the packed store amortises.
+TRACE_BENCH_SCENARIO = BenchScenario(
+    name="trace_load",
+    description="packed trace-store load vs cold generation (large random_dag)",
+    params={"workload": "random_dag", "seed": 0, "workload.width": 48,
+            "workload.depth": 320, "workload.extra_inputs": 6},
+    quick_overrides={"workload.depth": 48},
+)
+
+
+def _trace_metrics(trace) -> Dict[str, object]:
+    """Deterministic content fingerprint of a trace (load-vs-generate check)."""
+    return {
+        "num_tasks": len(trace),
+        "total_runtime_cycles": trace.total_runtime_cycles,
+        "operand_entries": sum(task.num_operands for task in trace),
+        "max_operands": trace.max_operands(),
+        "kernels": sorted({task.kernel for task in trace}),
+    }
+
+
+def run_trace_bench(quick: bool = False, repeat: int = 3,
+                    store_root: Optional[str] = None) -> Dict[str, object]:
+    """Measure packed trace *load* against cold generation.
+
+    Generates :data:`TRACE_BENCH_SCENARIO`'s workload cold (timed), bakes it
+    into a trace store, then times loading the packed file back (best of
+    ``repeat``).  The two paths must describe bit-identical work, so the
+    entry carries one ``metrics`` block per path plus ``metrics_match``; the
+    ``speedup`` is ``cold_generate_seconds / packed_load_seconds``.
+    """
+    import tempfile
+
+    from repro.sweep.runner import trace_key_for_params
+    from repro.trace.packed import pack_trace
+    from repro.trace.store import TraceStore
+
+    if repeat < 1:
+        raise BenchError(f"repeat must be >= 1, got {repeat}")
+    params = TRACE_BENCH_SCENARIO.effective_params(quick)
+    key_params, digest = trace_key_for_params(params)
+
+    start = time.perf_counter()
+    trace = _generate_trace(params)
+    cold_seconds = time.perf_counter() - start
+
+    temp_dir = None
+    if store_root is None:
+        temp_dir = tempfile.TemporaryDirectory(prefix="repro-trace-bench-")
+        store_root = temp_dir.name
+    try:
+        store = TraceStore(store_root)
+        start = time.perf_counter()
+        packed = pack_trace(trace)
+        store.put(digest, packed, params=key_params)
+        bake_seconds = time.perf_counter() - start
+        entry_bytes = store.path_for(digest).stat().st_size
+
+        best_load = None
+        loaded = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            loaded = store.get(digest)
+            load_seconds = time.perf_counter() - start
+            if best_load is None or load_seconds < best_load:
+                best_load = load_seconds
+        if loaded is None:
+            raise BenchError("trace store lost the freshly baked entry")
+        cold_metrics = _trace_metrics(trace)
+        packed_metrics = _trace_metrics(loaded)
+    finally:
+        if temp_dir is not None:
+            temp_dir.cleanup()
+
+    load = max(best_load, 1e-9)
+    return {
+        "schema": SCHEMA,
+        "name": TRACE_BENCH_SCENARIO.name,
+        "description": TRACE_BENCH_SCENARIO.description,
+        "quick": bool(quick),
+        "params": {key: params[key] for key in sorted(params)},
+        "digest": digest,
+        "metrics": cold_metrics,
+        "packed_metrics": packed_metrics,
+        "metrics_match": cold_metrics == packed_metrics,
+        "timing": {
+            "cold_generate_seconds": cold_seconds,
+            "bake_seconds": bake_seconds,
+            "packed_load_seconds": load,
+            "speedup": cold_seconds / load,
+            "entry_bytes": entry_bytes,
+        },
+    }
+
+
+def format_trace_bench(entry: Dict[str, object]) -> str:
+    """Human-readable rendering of one :func:`run_trace_bench` entry."""
+    timing = entry["timing"]
+    metrics = entry["metrics"]
+    lines = [
+        f"trace bench '{entry['name']}'"
+        f"{' (quick)' if entry.get('quick') else ''}: "
+        f"{metrics['num_tasks']} tasks, {metrics['operand_entries']} operands",
+        f"  cold generation : {timing['cold_generate_seconds'] * 1e3:9.1f} ms",
+        f"  pack + bake     : {timing['bake_seconds'] * 1e3:9.1f} ms "
+        f"({timing['entry_bytes']} bytes on disk)",
+        f"  packed load     : {timing['packed_load_seconds'] * 1e3:9.1f} ms",
+        f"  load speedup    : {timing['speedup']:9.1f}x vs cold generation",
+        f"  metrics match   : {entry['metrics_match']}",
+    ]
+    return "\n".join(lines)
 
 
 # -- Report I/O --------------------------------------------------------------
@@ -237,11 +365,9 @@ def report_path(label: str, root: str = ".") -> str:
 
 def write_report(report: Dict[str, object], path: str) -> str:
     """Atomically write ``report`` to ``path`` (tmp + rename) and return it."""
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    from repro.common.fileio import atomic_write_text
+
+    atomic_write_text(path, json.dumps(report, indent=1, sort_keys=True) + "\n")
     return path
 
 

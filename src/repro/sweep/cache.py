@@ -21,13 +21,12 @@ which makes the artifact directory self-describing.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.backend.system import SimulationResult
+from repro.common.fileio import atomic_write_text
 from repro.sweep.spec import SweepPoint
 
 #: Bump when the entry layout changes; mismatched entries are treated as
@@ -136,15 +135,4 @@ class ResultCache:
 
     @staticmethod
     def _atomic_write(path: Path, data: Dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(data, handle, sort_keys=True, indent=1)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, json.dumps(data, sort_keys=True, indent=1))

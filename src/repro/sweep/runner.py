@@ -12,22 +12,43 @@ results in spec order regardless of completion order.
 Both runners consult an optional :class:`repro.sweep.cache.ResultCache`
 before simulating and persist each fresh result as soon as it arrives, so an
 interrupted sweep resumes from its last completed point.
+
+Trace amortization: when a result cache is configured the runners also pair
+with a :class:`repro.trace.store.TraceStore` (``<artifacts>/traces`` by
+default).  :class:`ParallelRunner` bakes each distinct trace once in the
+parent before fan-out; workers (and later runs, and other processes sharing
+the artifacts directory) load the packed file by content address instead of
+regenerating it.  The per-process memo that backs :func:`trace_for_params`
+is keyed by the same canonical digest and its size is configurable via
+``REPRO_TRACE_CACHE_SIZE``, so multi-workload grids no longer thrash it.
 """
 
 from __future__ import annotations
 
-import functools
 import multiprocessing
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.backend.system import SimulationResult, TaskSuperscalarSystem
 from repro.common.errors import ConfigurationError, SweepExecutionError
+from repro.common.hashing import content_digest
 from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
 from repro.sweep.spec import (OVERRIDE_SECTIONS, WORKLOAD_SECTION, ParamValue,
                               SweepPoint, SweepSpec, spec_id_of)
+from repro.trace.store import TraceStore, canonical_trace_params
 
 _WORKLOAD_PREFIX = WORKLOAD_SECTION + "."
+
+#: Default capacity of the per-process trace memo (override with the
+#: ``REPRO_TRACE_CACHE_SIZE`` environment variable).
+DEFAULT_TRACE_CACHE_SIZE = 32
+
+#: Environment variable naming a trace-store root for worker processes and
+#: standalone :func:`execute_point` callers (runners configure theirs
+#: explicitly; the pool initializer uses this as its hand-off).
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
 
 
 def build_point_config(params: Dict[str, ParamValue]):
@@ -62,22 +83,188 @@ def workload_params(params: Dict[str, ParamValue]) -> Dict[str, ParamValue]:
             if name.startswith(_WORKLOAD_PREFIX)}
 
 
-@functools.lru_cache(maxsize=8)
-def _cached_trace(name: str, scale_factor: float, seed: int,
-                  max_tasks: Optional[int],
-                  workload_kwargs: Tuple[Tuple[str, ParamValue], ...] = ()):
-    """Memoized trace generation.
+@dataclass
+class TraceStats:
+    """Per-process counters of how traces were obtained (see ``snapshot``)."""
 
-    A grid typically visits the same (workload, scale, seed, max_tasks,
-    constructor parameters) tuple once per pipeline configuration; traces are
-    treated as read-only by both simulators (the pre-sweep experiment loops
-    shared one trace object across a whole grid), so each process regenerates
-    a given trace only once.
+    generated: int = 0    #: built by running a workload generator (the slow path)
+    packed_hits: int = 0  #: loaded from the packed trace store
+    memo_hits: int = 0    #: answered by the in-process memo
+
+    def snapshot(self) -> "TraceStats":
+        return TraceStats(self.generated, self.packed_hits, self.memo_hits)
+
+    def since(self, base: "TraceStats") -> "TraceStats":
+        return TraceStats(self.generated - base.generated,
+                          self.packed_hits - base.packed_hits,
+                          self.memo_hits - base.memo_hits)
+
+
+#: Process-wide trace accounting (parallel workers keep their own copies).
+TRACE_STATS = TraceStats()
+
+#: LRU memo of trace objects keyed by their canonical digest -- the *same*
+#: content address the trace store files use, so multi-workload grids never
+#: collide and the memo never diverges from the on-disk key space.
+_TRACE_MEMO: "OrderedDict[str, object]" = OrderedDict()
+
+_TRACE_STORE: Optional[TraceStore] = None
+
+#: ``(store_root, digest)`` pairs known to be present on disk, so memo hits
+#: ensure the active store is populated without re-reading its header every
+#: time (a store configured after the memo warmed up still gets baked).
+_STORE_SEEN: set = set()
+
+#: True when the store was explicitly disabled (``trace_store=False``); keeps
+#: ``--no-trace-store`` from being silently overridden by the
+#: ``REPRO_TRACE_STORE`` environment variable.
+_TRACE_STORE_DISABLED = False
+
+#: Stores resolved from ``REPRO_TRACE_STORE``, memoized per root so the
+#: hit/miss counters persist across :func:`active_trace_store` calls without
+#: the env fallback mutating the explicitly-configured store.
+_ENV_STORES: Dict[str, TraceStore] = {}
+
+
+def trace_cache_size() -> int:
+    """Capacity of the per-process trace memo (``REPRO_TRACE_CACHE_SIZE``)."""
+    try:
+        size = int(os.environ.get("REPRO_TRACE_CACHE_SIZE",
+                                  DEFAULT_TRACE_CACHE_SIZE))
+    except ValueError:
+        return DEFAULT_TRACE_CACHE_SIZE
+    return max(1, size)
+
+
+def trace_cache_clear() -> None:
+    """Drop the per-process trace memo (tests; memory pressure)."""
+    _TRACE_MEMO.clear()
+    _STORE_SEEN.clear()
+
+
+def configure_trace_store(store: Union[TraceStore, str, None, bool],
+                          ) -> Union[TraceStore, None, bool]:
+    """Set this process's trace store.
+
+    ``None`` clears it (the ``REPRO_TRACE_STORE`` environment variable may
+    then provide one); ``False`` disables it outright, env var included.
+    Returns the previous setting in the same vocabulary so callers can
+    restore it.
     """
+    global _TRACE_STORE, _TRACE_STORE_DISABLED
+    previous = False if _TRACE_STORE_DISABLED else _TRACE_STORE
+    if store is False:
+        _TRACE_STORE, _TRACE_STORE_DISABLED = None, True
+    else:
+        if isinstance(store, (str, os.PathLike)):
+            store = TraceStore(store)
+        _TRACE_STORE, _TRACE_STORE_DISABLED = store, False
+    return previous
+
+
+def active_trace_store() -> Optional[TraceStore]:
+    """The trace store :func:`execute_point` will consult, if any.
+
+    An explicitly configured store wins; otherwise the ``REPRO_TRACE_STORE``
+    environment variable names one (the fallback for standalone
+    ``execute_point`` callers -- pool workers are configured through their
+    initializer, not the environment).  Explicitly disabled
+    (``configure_trace_store(False)``) means no store, env var included.
+    """
+    if _TRACE_STORE_DISABLED:
+        return None
+    if _TRACE_STORE is not None:
+        return _TRACE_STORE
+    root = os.environ.get(TRACE_STORE_ENV)
+    if not root:
+        return None
+    store = _ENV_STORES.get(root)
+    if store is None:
+        store = _ENV_STORES[root] = TraceStore(root)
+    return store
+
+
+def trace_key_for_params(params: Dict[str, ParamValue],
+                         ) -> Tuple[Dict[str, ParamValue], str]:
+    """The canonical trace key and digest for one point's parameters.
+
+    Every site that names a trace -- the per-process memo, the parent-side
+    pre-bake, the bake CLI and the trace bench -- derives its key through
+    this one helper, so the parent can never bake under a different digest
+    than the one workers look up.
+    """
+    max_tasks = params.get("max_tasks")
+    key_params = canonical_trace_params(
+        str(params["workload"]),
+        scale_factor=float(params.get("scale_factor", 1.0)),
+        seed=int(params.get("seed", 0)),
+        max_tasks=None if max_tasks is None else int(max_tasks),
+        workload_kwargs=workload_params(params))
+    return key_params, content_digest(key_params)
+
+
+def generate_trace_for_key(key_params: Dict[str, ParamValue]):
+    """Run the workload generator named by a canonical trace key."""
     from repro.experiments.common import experiment_trace
 
-    return experiment_trace(name, scale_factor=scale_factor, seed=seed,
-                            max_tasks=max_tasks, **dict(workload_kwargs))
+    return experiment_trace(
+        key_params["workload"], scale_factor=key_params["scale_factor"],
+        seed=key_params["seed"], max_tasks=key_params["max_tasks"])
+
+
+def trace_for_params(params: Dict[str, ParamValue]):
+    """Resolve the trace for one point's parameters (memo -> store -> generate).
+
+    The memo and the store share one canonical key
+    (:func:`repro.trace.store.trace_digest` of the normalised workload spec),
+    so a grid touching many (workload, seed, scale) tuples is served
+    correctly at any memo size, and every process that misses its memo loads
+    the packed baked trace instead of regenerating.  Replayed packed traces
+    are bit-identical to generated ones (pinned by the determinism suite).
+    """
+    key_params, digest = trace_key_for_params(params)
+    store = active_trace_store()
+    trace = _TRACE_MEMO.get(digest)
+    if trace is not None:
+        _TRACE_MEMO.move_to_end(digest)
+        TRACE_STATS.memo_hits += 1
+        if store is not None:
+            _ensure_stored(store, digest, key_params, trace)
+        return trace
+
+    if store is not None:
+        trace, baked = store.get_or_bake(
+            key_params, lambda: generate_trace_for_key(key_params))
+        _STORE_SEEN.add((str(store.root), digest))
+        if baked:
+            TRACE_STATS.generated += 1
+        else:
+            TRACE_STATS.packed_hits += 1
+    else:
+        trace = generate_trace_for_key(key_params)
+        TRACE_STATS.generated += 1
+    _TRACE_MEMO[digest] = trace
+    while len(_TRACE_MEMO) > trace_cache_size():
+        _TRACE_MEMO.popitem(last=False)
+    return trace
+
+
+def _ensure_stored(store: TraceStore, digest: str,
+                   key_params: Dict[str, ParamValue], trace) -> None:
+    """Back-fill the active store from a memoized trace.
+
+    A store configured *after* the per-process memo warmed up (e.g. a second
+    campaign in the same process pointed at a fresh artifacts dir) would
+    otherwise never receive the trace while the run still reported it as
+    'reused' -- leaving later fleets to regenerate.  The ``_STORE_SEEN`` memo
+    keeps this to one ``contains`` header-read per (store, digest).
+    """
+    key = (str(store.root), digest)
+    if key in _STORE_SEEN:
+        return
+    if not store.contains(digest):
+        store.put(digest, trace, params=key_params)
+    _STORE_SEEN.add(key)
 
 
 def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
@@ -88,12 +275,7 @@ def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
     """
     params = dict(point_params)
     config = build_point_config(params)
-    max_tasks = params.get("max_tasks")
-    trace = _cached_trace(str(params["workload"]),
-                          float(params.get("scale_factor", 1.0)),
-                          int(params.get("seed", 0)),
-                          None if max_tasks is None else int(max_tasks),
-                          tuple(sorted(workload_params(params).items())))
+    trace = trace_for_params(params)
     system_kind = params.get("system", "hardware")
     if system_kind == "hardware":
         result = TaskSuperscalarSystem(config).run(
@@ -128,6 +310,17 @@ class SweepRun:
     results: List[SimulationResult]
     computed_count: int
     cached_count: int
+    #: Parent-side trace accounting.  For :class:`SerialRunner` this counts
+    #: every trace the run generated (cold bakes, or plain generation when no
+    #: store is configured); for :class:`ParallelRunner` it counts the
+    #: parent's pre-fan-out bakes -- with a store, workers never regenerate,
+    #: so 0 means every needed trace was already baked.  A *store-less*
+    #: parallel run regenerates inside the workers, which the parent cannot
+    #: observe; both counters stay 0 there.
+    trace_generated: int = 0
+    #: Traces answered without regeneration (packed-store loads + memo hits),
+    #: counted parent-side under the same caveat as ``trace_generated``.
+    trace_reused: int = 0
 
     def __iter__(self):
         return iter(zip(self.points, self.results))
@@ -146,15 +339,43 @@ class SweepRun:
         return (f"{self.spec.name}: {len(self.points)} points "
                 f"({self.cached_count} cached, {self.computed_count} computed)")
 
+    def trace_summary(self) -> str:
+        """One-line trace-amortization outcome (the store's scoreboard)."""
+        return (f"traces: {self.trace_generated} regenerated, "
+                f"{self.trace_reused} reused")
+
 
 ProgressCallback = Callable[[SweepPoint, SimulationResult, bool], None]
+
+
+def resolve_trace_store(trace_store: Union[TraceStore, str, None, bool],
+                        cache: Optional[ResultCache]) -> Optional[TraceStore]:
+    """Pick a runner's trace store.
+
+    ``None`` derives the conventional store from the result cache
+    (``<artifacts>/traces``) so any cached sweep amortises trace generation
+    by default; ``False`` disables the store; a path or :class:`TraceStore`
+    is used as given.  Cache-less (``--no-cache``) runs write nothing.
+    """
+    if trace_store is False:
+        return None
+    if isinstance(trace_store, TraceStore):
+        return trace_store
+    if isinstance(trace_store, (str, os.PathLike)):
+        return TraceStore(trace_store)
+    if cache is not None:
+        return TraceStore.for_cache(cache)
+    return None
 
 
 class SerialRunner:
     """Run every point in-process, in spec order (the reference executor)."""
 
-    def __init__(self, cache: Optional[ResultCache] = None):
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 trace_store: Union[TraceStore, str, None, bool] = None):
         self.cache = cache
+        self.trace_store_disabled = trace_store is False
+        self.trace_store = resolve_trace_store(trace_store, cache)
 
     def run(self, spec: SweepSpec,
             progress: Optional[ProgressCallback] = None) -> SweepRun:
@@ -163,26 +384,42 @@ class SerialRunner:
         results: List[SimulationResult] = []
         seen: Dict[str, SimulationResult] = {}
         computed = cached = 0
-        for point in points:
-            result = seen.get(point.point_id)
-            if result is None and self.cache is not None:
-                result = self.cache.get(point)
-            was_cached = result is not None
-            if result is None:
-                result = result_from_dict(execute_point(point.as_dict()))
-                computed += 1
-                if self.cache is not None:
-                    self.cache.put(point, result)
-            else:
-                cached += 1
-            seen[point.point_id] = result
-            results.append(result)
-            if progress is not None:
-                progress(point, result, was_cached)
+        stats_base = TRACE_STATS.snapshot()
+        # Install this runner's store for the duration of the run -- but only
+        # when it actually has an opinion: a store-less, non-disabled runner
+        # leaves any process-global store (configure_trace_store / env var)
+        # in effect rather than silently clearing it.
+        reconfigure = self.trace_store is not None or self.trace_store_disabled
+        previous_store = (configure_trace_store(
+            False if self.trace_store_disabled else self.trace_store)
+            if reconfigure else None)
+        try:
+            for point in points:
+                result = seen.get(point.point_id)
+                if result is None and self.cache is not None:
+                    result = self.cache.get(point)
+                was_cached = result is not None
+                if result is None:
+                    result = result_from_dict(execute_point(point.as_dict()))
+                    computed += 1
+                    if self.cache is not None:
+                        self.cache.put(point, result)
+                else:
+                    cached += 1
+                seen[point.point_id] = result
+                results.append(result)
+                if progress is not None:
+                    progress(point, result, was_cached)
+        finally:
+            if reconfigure:
+                configure_trace_store(previous_store)
         if self.cache is not None:
             self.cache.write_manifest(spec_id_of(points), spec.name, points)
+        delta = TRACE_STATS.since(stats_base)
         return SweepRun(spec=spec, points=points, results=results,
-                        computed_count=computed, cached_count=cached)
+                        computed_count=computed, cached_count=cached,
+                        trace_generated=delta.generated,
+                        trace_reused=delta.packed_hits + delta.memo_hits)
 
 
 def adaptive_chunksize(num_pending: int, num_workers: int) -> int:
@@ -210,13 +447,52 @@ class ParallelRunner:
     """
 
     def __init__(self, num_workers: int = 2, cache: Optional[ResultCache] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 trace_store: Union[TraceStore, str, None, bool] = None):
         if num_workers < 1:
             raise ConfigurationError(
                 f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers
         self.cache = cache
         self.start_method = start_method
+        self.trace_store_disabled = trace_store is False
+        self.trace_store = resolve_trace_store(trace_store, cache)
+
+    def _bake_traces(self, pending_points: List[SweepPoint]) -> Tuple[int, int]:
+        """Bake each distinct trace once before fan-out.
+
+        With ``W`` workers and no store, every worker regenerates every trace
+        it touches (up to ``W`` regenerations per trace).  Baking in the
+        parent makes generation a one-time cost: workers find the packed file
+        by content address and load it with a bulk ``frombytes``.  Returns
+        ``(generated, reused)`` counts over the distinct traces.
+
+        The bake loop is deliberately serial: it guarantees exactly-once
+        generation at the cost of startup latency proportional to the number
+        of *cold* distinct traces.  (Letting workers bake on demand would
+        overlap generation with simulation but admits up to ``W`` redundant
+        generations per trace -- the cost this subsystem exists to remove.
+        Warm traces are skipped via ``contains``, so the latency is paid only
+        on the first campaign to touch a trace.)
+        """
+        store = self.trace_store
+        generated = reused = 0
+        seen: set = set()
+        for point in pending_points:
+            key_params, digest = trace_key_for_params(point.as_dict())
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if store.contains(digest):
+                reused += 1
+                continue
+            _, baked = store.get_or_bake(
+                key_params, lambda kp=key_params: generate_trace_for_key(kp))
+            if baked:
+                generated += 1
+            else:  # pragma: no cover - benign race with a concurrent baker
+                reused += 1
+        return generated, reused
 
     def run(self, spec: SweepSpec,
             progress: Optional[ProgressCallback] = None) -> SweepRun:
@@ -240,11 +516,22 @@ class ParallelRunner:
             else:
                 pending[point.point_id] = [index]
 
+        trace_generated = trace_reused = 0
         if pending:
+            pending_points = [points[indexes[0]] for indexes in pending.values()]
+            initializer = initargs = None
+            if self.trace_store is not None:
+                trace_generated, trace_reused = self._bake_traces(pending_points)
+                initializer = _worker_init
+                initargs = (str(self.trace_store.root),)
+            elif self.trace_store_disabled:
+                initializer = _worker_init
+                initargs = (None,)
             context = (multiprocessing.get_context(self.start_method)
                        if self.start_method else multiprocessing.get_context())
             workers = min(self.num_workers, len(pending))
-            with context.Pool(processes=workers) as pool:
+            with context.Pool(processes=workers, initializer=initializer,
+                              initargs=initargs or ()) as pool:
                 payloads = [(indexes[0], points[indexes[0]].as_dict())
                             for indexes in pending.values()]
                 # Unordered streaming: each result is cached the moment it
@@ -267,7 +554,19 @@ class ParallelRunner:
         if self.cache is not None:
             self.cache.write_manifest(spec_id_of(points), spec.name, points)
         return SweepRun(spec=spec, points=points, results=list(results),
-                        computed_count=len(pending), cached_count=cached + duplicates)
+                        computed_count=len(pending), cached_count=cached + duplicates,
+                        trace_generated=trace_generated,
+                        trace_reused=trace_reused)
+
+
+def _worker_init(store_root: Optional[str]) -> None:
+    """Pool initializer: point the worker at the parent's trace store.
+
+    ``None`` means the parent explicitly disabled the store
+    (``trace_store=False``), which must override any ``REPRO_TRACE_STORE``
+    environment variable the worker inherited.
+    """
+    configure_trace_store(False if store_root is None else store_root)
 
 
 def _require_complete(points: List[SweepPoint],
@@ -287,8 +586,9 @@ def _require_complete(points: List[SweepPoint],
             "points")
 
 
-def default_runner(jobs: int = 1, cache: Optional[ResultCache] = None):
+def default_runner(jobs: int = 1, cache: Optional[ResultCache] = None,
+                   trace_store: Union[TraceStore, str, None, bool] = None):
     """Pick the runner matching a ``--jobs`` CLI value."""
     if jobs <= 1:
-        return SerialRunner(cache=cache)
-    return ParallelRunner(num_workers=jobs, cache=cache)
+        return SerialRunner(cache=cache, trace_store=trace_store)
+    return ParallelRunner(num_workers=jobs, cache=cache, trace_store=trace_store)

@@ -12,8 +12,14 @@ This package defines the same notion of a trace for the reproduction:
   operands and a runtime in cycles;
 * :class:`repro.trace.records.TaskTrace` -- an ordered sequence of task
   records produced by a sequential task-generating thread;
-* :mod:`repro.trace.io` -- a JSON-lines reader/writer so traces can be stored
-  and exchanged.
+* :mod:`repro.trace.io` -- a JSON-lines reader/writer (transparent ``.gz``)
+  so traces can be stored and exchanged;
+* :mod:`repro.trace.packed` -- a packed structure-of-arrays representation
+  (:class:`~repro.trace.packed.PackedTaskTrace`) with O(1) lazy task views
+  and a versioned binary on-disk format for near-instant loads;
+* :mod:`repro.trace.store` -- a content-addressed store of packed traces
+  (:class:`~repro.trace.store.TraceStore`) that lets a whole sweep fleet
+  share one baked copy of each trace instead of regenerating it per process.
 
 Traces are produced either by the workload generators
 (:mod:`repro.workloads`) or by recording a program written against the
@@ -21,13 +27,27 @@ StarSs-like runtime (:mod:`repro.runtime`).
 """
 
 from repro.trace.records import Direction, OperandRecord, TaskRecord, TaskTrace
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import read_trace, read_trace_tasks, write_trace
+from repro.trace.packed import (PACKED_FORMAT_VERSION, PackedTaskTrace,
+                                PackedTaskView, pack_trace, read_packed,
+                                write_packed)
+from repro.trace.store import TraceStore, canonical_trace_params, trace_digest
 
 __all__ = [
     "Direction",
     "OperandRecord",
+    "PACKED_FORMAT_VERSION",
+    "PackedTaskTrace",
+    "PackedTaskView",
     "TaskRecord",
     "TaskTrace",
+    "TraceStore",
+    "canonical_trace_params",
+    "pack_trace",
+    "read_packed",
     "read_trace",
+    "read_trace_tasks",
+    "trace_digest",
+    "write_packed",
     "write_trace",
 ]

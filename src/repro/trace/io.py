@@ -6,18 +6,33 @@ task ``{"seq": ..., "kernel": ..., "runtime_cycles": ..., "operands": [...]}``
 with operands encoded as ``[address, size, direction, is_scalar, name]``
 arrays.  The format is intentionally simple so traces can be inspected with
 standard text tools and diffed.
+
+Paths ending in ``.gz`` are compressed/decompressed transparently (the text
+format gzips to a small fraction of its size), and reading streams the file
+line by line: :func:`read_trace_tasks` yields one task at a time in constant
+memory, and :func:`read_trace` parses header and tasks in a single pass over
+one open handle.  For a binary format that loads in bulk, see
+:mod:`repro.trace.packed`.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import IO, Iterator, Tuple, Union
 
 from repro.common.errors import TraceFormatError
 from repro.trace.records import Direction, OperandRecord, TaskRecord, TaskTrace
 
 PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str) -> IO[str]:
+    """Open a trace file for text I/O, gzipping when the suffix asks for it."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 def _operand_to_json(operand: OperandRecord) -> list:
@@ -38,9 +53,9 @@ def _operand_from_json(data: list) -> OperandRecord:
 
 
 def write_trace(trace: TaskTrace, path: PathLike) -> None:
-    """Write ``trace`` to ``path`` in JSON-lines format."""
+    """Write ``trace`` to ``path`` in JSON-lines format (``.gz`` = gzipped)."""
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with _open(path, "w") as handle:
         header = {"trace": trace.name, "metadata": trace.metadata}
         handle.write(json.dumps(header) + "\n")
         for task in trace:
@@ -55,42 +70,94 @@ def write_trace(trace: TaskTrace, path: PathLike) -> None:
             handle.write(json.dumps(record) + "\n")
 
 
-def read_trace(path: PathLike) -> TaskTrace:
-    """Read a trace previously written with :func:`write_trace`.
+def _parse_header_line(line: str, path: Path) -> dict:
+    """Parse and validate the header record (the first non-empty line)."""
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"trace file {path} has a malformed header") from exc
+    if not isinstance(header, dict) or "trace" not in header:
+        raise TraceFormatError(
+            f"trace file {path} is missing the header record")
+    return header
+
+
+def _parse_task(line: str, path: Path, lineno: int) -> TaskRecord:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}:{lineno}: malformed JSON") from exc
+    try:
+        return TaskRecord(
+            sequence=record["seq"],
+            kernel=record["kernel"],
+            operands=tuple(_operand_from_json(op) for op in record["operands"]),
+            runtime_cycles=record["runtime_cycles"],
+            creation_cycles=record.get("creation_cycles"),
+        )
+    except KeyError as exc:
+        raise TraceFormatError(f"{path}:{lineno}: missing field {exc}") from exc
+
+
+def _scan_header(handle: IO[str], path: Path) -> Tuple[dict, int]:
+    """Consume lines up to and including the header record.
+
+    Returns the parsed header and the number of lines consumed, so a task
+    iterator can continue on the same handle with correct line numbers.
+    """
+    lineno = 0
+    for raw in handle:
+        lineno += 1
+        line = raw.strip()
+        if line:
+            return _parse_header_line(line, path), lineno
+    raise TraceFormatError(f"trace file {path} is empty")
+
+
+def _iter_tasks(handle: IO[str], path: Path, lineno: int) -> Iterator[TaskRecord]:
+    """Yield the task records remaining on ``handle`` after the header."""
+    for raw in handle:
+        lineno += 1
+        line = raw.strip()
+        if line:
+            yield _parse_task(line, path, lineno)
+
+
+def read_trace_header(path: PathLike) -> dict:
+    """Read only the header record ``{"trace": ..., "metadata": ...}``."""
+    path = Path(path)
+    with _open(path, "r") as handle:
+        return _scan_header(handle, path)[0]
+
+
+def read_trace_tasks(path: PathLike) -> Iterator[TaskRecord]:
+    """Stream the tasks of a trace file one record at a time.
+
+    The file is never accumulated as a whole: each line is parsed and yielded
+    before the next is read, so arbitrarily large traces stream in constant
+    memory.  The header line is validated and skipped.
 
     Raises:
         TraceFormatError: if the file is malformed.
     """
     path = Path(path)
-    tasks: List[TaskRecord] = []
-    name = path.stem
-    metadata = {}
-    with path.open("r", encoding="utf-8") as handle:
-        lines = [line for line in (raw.strip() for raw in handle) if line]
-    if not lines:
-        raise TraceFormatError(f"trace file {path} is empty")
-    try:
-        header = json.loads(lines[0])
-    except json.JSONDecodeError as exc:
-        raise TraceFormatError(f"trace file {path} has a malformed header") from exc
-    if not isinstance(header, dict) or "trace" not in header:
-        raise TraceFormatError(f"trace file {path} is missing the header record")
-    name = header["trace"]
-    metadata = header.get("metadata", {})
-    for lineno, line in enumerate(lines[1:], start=2):
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError(f"{path}:{lineno}: malformed JSON") from exc
-        try:
-            task = TaskRecord(
-                sequence=record["seq"],
-                kernel=record["kernel"],
-                operands=tuple(_operand_from_json(op) for op in record["operands"]),
-                runtime_cycles=record["runtime_cycles"],
-                creation_cycles=record.get("creation_cycles"),
-            )
-        except KeyError as exc:
-            raise TraceFormatError(f"{path}:{lineno}: missing field {exc}") from exc
-        tasks.append(task)
-    return TaskTrace(name, tasks, metadata)
+    with _open(path, "r") as handle:
+        _, lineno = _scan_header(handle, path)
+        yield from _iter_tasks(handle, path, lineno)
+
+
+def read_trace(path: PathLike) -> TaskTrace:
+    """Read a trace previously written with :func:`write_trace`.
+
+    Single pass: the header is parsed and the task records stream straight
+    into the :class:`TaskTrace` constructor from one open handle.
+
+    Raises:
+        TraceFormatError: if the file is malformed.
+    """
+    path = Path(path)
+    with _open(path, "r") as handle:
+        header, lineno = _scan_header(handle, path)
+        return TaskTrace(header["trace"], _iter_tasks(handle, path, lineno),
+                         header.get("metadata", {}))

@@ -104,6 +104,11 @@ class TaskRecord:
             raise TraceFormatError(
                 f"task runtime must be non-negative, got {self.runtime_cycles}"
             )
+        if self.creation_cycles is not None and self.creation_cycles < 0:
+            raise TraceFormatError(
+                f"task creation cost must be non-negative or None, got "
+                f"{self.creation_cycles}"
+            )
         self.operands = tuple(self.operands)
 
     # -- Convenience views ---------------------------------------------------

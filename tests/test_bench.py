@@ -61,6 +61,14 @@ class TestRunSuite:
         assert "host" not in first
         assert "timing" not in first["scenarios"][0]
 
+    def test_timing_splits_trace_from_simulation(self):
+        report = tiny_report()
+        (entry,) = report["scenarios"]
+        timing = entry["timing"]
+        assert timing["trace_seconds"] >= 0
+        assert timing["simulate_seconds"] == timing["wall_seconds"]
+        assert report["timing"]["trace_seconds"] >= timing["trace_seconds"]
+
     def test_unknown_scenario_filter_rejected(self):
         with pytest.raises(bench.BenchError, match="unknown scenario"):
             bench.run_suite(only=["nope"], scenarios=TINY_SUITE)
@@ -76,6 +84,49 @@ class TestRunSuite:
     def test_pinned_suite_names_are_unique(self):
         names = bench.scenario_names()
         assert len(names) == len(set(names)) >= 5
+
+
+class TestTraceBench:
+    def test_trace_bench_metrics_match_and_store_entry(self, tmp_path):
+        entry = bench.run_trace_bench(quick=True, repeat=1,
+                                      store_root=str(tmp_path))
+        assert entry["name"] == "trace_load"
+        assert entry["metrics_match"] is True
+        assert entry["metrics"] == entry["packed_metrics"]
+        assert entry["metrics"]["num_tasks"] > 0
+        timing = entry["timing"]
+        assert timing["cold_generate_seconds"] > 0
+        assert timing["packed_load_seconds"] > 0
+        assert timing["speedup"] == pytest.approx(
+            timing["cold_generate_seconds"] / timing["packed_load_seconds"])
+        # The baked entry landed in the explicit store root.
+        from repro.trace.store import TraceStore
+
+        assert len(TraceStore(tmp_path)) == 1
+        rendered = bench.format_trace_bench(entry)
+        assert "load speedup" in rendered
+
+    def test_trace_bench_uses_a_temporary_store_by_default(self):
+        entry = bench.run_trace_bench(quick=True, repeat=1)
+        assert entry["metrics_match"] is True
+
+    def test_trace_bench_rejects_bad_repeat(self):
+        with pytest.raises(bench.BenchError):
+            bench.run_trace_bench(quick=True, repeat=0)
+
+    def test_trace_bench_cli(self, tmp_path, capsys):
+        output = tmp_path / "trace_bench.json"
+        code = cli_main(["bench", "trace", "--quick", "--repeat", "1",
+                         "--output", str(output)])
+        assert code == 0
+        assert "load speedup" in capsys.readouterr().out
+        assert json.loads(output.read_text())["metrics_match"] is True
+
+    def test_trace_bench_cli_min_speedup_failure(self, capsys):
+        code = cli_main(["bench", "trace", "--quick", "--repeat", "1",
+                         "--min-speedup", "1e12"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
 
 
 class TestReportIO:

@@ -36,6 +36,58 @@ class TestCLI:
         assert len(trace) > 0
         assert trace.name == "FFT"
 
+    def test_trace_export_gzipped(self, tmp_path, capsys):
+        path = tmp_path / "fft.jsonl.gz"
+        assert main(["trace", "--workload", "FFT", "--scale", "4",
+                     "--output", str(path)]) == 0
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert len(read_trace(path)) > 0
+
+    def test_trace_export_requires_workload_and_output(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--workload", "FFT"])
+
+    def test_trace_bake_ls_gc(self, tmp_path, capsys):
+        store = str(tmp_path / "traces")
+        assert main(["trace", "bake", "--workload", "Cholesky",
+                     "--scale-factor", "0.3", "--max-tasks", "30",
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "[baked ]" in out and "1 baked traces" in out
+        # A second bake of the same spec is answered from the store.
+        assert main(["trace", "bake", "--workload", "cholesky",
+                     "--scale-factor", "0.3", "--max-tasks", "30",
+                     "--store", store]) == 0
+        assert "[cached]" in capsys.readouterr().out
+        assert main(["trace", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Cholesky" in out and "1 traces" in out
+        assert main(["trace", "gc", "--store", store]) == 0
+        assert "removed 0 file(s)" in capsys.readouterr().out
+        assert main(["trace", "gc", "--store", store, "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 file(s)" in out and "0 entries remain" in out
+        assert main(["trace", "ls", "--store", store]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_sweep_cli_reports_trace_amortization(self, tmp_path, capsys):
+        args = ["sweep", "--workload", "Cholesky",
+                "--axis", "frontend.num_trs=1,2",
+                "--scale-factor", "0.2", "--max-tasks", "20",
+                "--fast-generator", "--artifacts", str(tmp_path / "a")]
+        assert main(args) == 0
+        assert "traces:" in capsys.readouterr().out
+        # Fresh result cache + the first run's trace store: zero regenerations.
+        from repro.sweep.runner import trace_cache_clear
+
+        trace_cache_clear()
+        assert main(["sweep", "--workload", "Cholesky",
+                     "--axis", "frontend.num_trs=1,2",
+                     "--scale-factor", "0.2", "--max-tasks", "20",
+                     "--fast-generator", "--artifacts", str(tmp_path / "b"),
+                     "--trace-store", str(tmp_path / "a" / "traces")]) == 0
+        assert "traces: 0 regenerated" in capsys.readouterr().out
+
     @pytest.mark.parametrize("artefact", ["table1", "table2", "fig1", "fig3"])
     def test_experiment_artefacts(self, artefact, capsys):
         assert main(["experiment", artefact]) == 0

@@ -22,8 +22,11 @@ from dataclasses import asdict
 from repro.backend.system import TaskSuperscalarSystem
 from repro.experiments.common import experiment_config, experiment_trace
 from repro.software.runtime_sim import SoftwareRuntimeSystem
-from repro.sweep.runner import ParallelRunner, SerialRunner, execute_point
+from repro.sweep.runner import (ParallelRunner, SerialRunner, execute_point,
+                                trace_cache_clear)
 from repro.sweep.spec import SweepSpec
+from repro.trace.packed import pack_trace
+from repro.trace.store import TraceStore
 
 WORKLOADS = ("Cholesky", "H264")
 
@@ -78,3 +81,50 @@ class TestParallelRunnerDeterminism:
                                        parallel.results):
             assert asdict(mine) == asdict(theirs), (
                 f"parallel result diverged at {point.label()}")
+
+
+class TestPackedReplayDeterminism:
+    """Replaying a packed/baked trace must not change a single bit."""
+
+    def test_packed_replay_matches_record_replay(self):
+        for name in WORKLOADS:
+            trace = experiment_trace(name, scale_factor=0.3, max_tasks=80)
+            direct = asdict(TaskSuperscalarSystem(
+                experiment_config(num_cores=32)).run(trace))
+            packed = asdict(TaskSuperscalarSystem(
+                experiment_config(num_cores=32)).run(pack_trace(trace)))
+            assert packed == direct, f"{name}: packed replay diverged"
+
+    def test_packed_replay_matches_for_software_runtime(self):
+        trace = experiment_trace("MatMul", scale_factor=0.4)
+        direct = asdict(SoftwareRuntimeSystem(
+            experiment_config(num_cores=32)).run(trace))
+        packed = asdict(SoftwareRuntimeSystem(
+            experiment_config(num_cores=32)).run(pack_trace(trace)))
+        assert packed == direct
+
+    def test_trace_store_sweeps_are_bit_identical(self, tmp_path):
+        """Generated-trace and store-replayed sweeps agree bit for bit."""
+        spec = SweepSpec(
+            name="packed-replay",
+            workloads=WORKLOADS,
+            axes={"frontend.num_trs": (1, 4)},
+            base={"scale_factor": 0.25, "max_tasks": 50, "num_cores": 16,
+                  "fast_generator": True},
+        )
+        baseline = SerialRunner().run(spec)
+        store = TraceStore(tmp_path / "traces")
+        trace_cache_clear()  # force the first store run to bake
+        baked = SerialRunner(trace_store=store).run(spec)
+        assert baked.trace_generated == len(WORKLOADS)
+        trace_cache_clear()  # force the second store run to load packed files
+        replayed = SerialRunner(trace_store=store).run(spec)
+        assert replayed.trace_generated == 0
+        assert replayed.trace_reused >= len(WORKLOADS)
+        for point, expected, from_bake, from_store in zip(
+                spec.points(), baseline.results, baked.results,
+                replayed.results):
+            assert asdict(from_bake) == asdict(expected), (
+                f"baking run diverged at {point.label()}")
+            assert asdict(from_store) == asdict(expected), (
+                f"packed-replayed run diverged at {point.label()}")

@@ -25,8 +25,11 @@ from repro.common.errors import ConfigurationError
 from repro.common.hashing import canonical_json, content_digest, fingerprint64
 from repro.sweep.cache import ResultCache, result_from_dict
 from repro.sweep.runner import (ParallelRunner, SerialRunner, build_point_config,
-                                default_runner, execute_point)
+                                default_runner, execute_point,
+                                resolve_trace_store, trace_cache_clear,
+                                trace_cache_size)
 from repro.sweep.spec import DEFAULT_PARAMS, SweepSpec, parse_axis_value
+from repro.trace.store import TraceStore
 
 #: A small but non-trivial grid: 2 workloads x 2 ORT settings x 2 TRS
 #: settings = 8 points (the acceptance floor), each cheap to simulate.
@@ -336,3 +339,122 @@ class TestRunners:
         assert len(parallel.results) == spec.cardinality
         for mine, theirs in zip(serial.results, parallel.results):
             assert asdict(mine) == asdict(theirs)
+
+
+class TestTraceStoreIntegration:
+    def test_cache_derives_the_conventional_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SerialRunner(cache=cache)
+        assert runner.trace_store is not None
+        assert runner.trace_store.root == tmp_path / "traces"
+        assert SerialRunner(cache=cache, trace_store=False).trace_store is None
+        assert SerialRunner().trace_store is None
+
+    def test_resolve_trace_store_accepts_paths_and_stores(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        assert resolve_trace_store(store, None) is store
+        assert resolve_trace_store(str(tmp_path / "p"), None).root == tmp_path / "p"
+        assert resolve_trace_store(False, ResultCache(tmp_path)) is None
+
+    def test_parent_bakes_each_distinct_trace_once(self, tmp_path):
+        spec = acceptance_spec()
+        trace_cache_clear()
+        run = ParallelRunner(num_workers=2,
+                             cache=ResultCache(tmp_path)).run(spec)
+        # Two workloads share every other parameter: exactly two bakes.
+        assert run.trace_generated == 2
+        assert run.trace_reused == 0
+        store = TraceStore(tmp_path / "traces")
+        assert len(store) == 2
+        names = sorted(entry.name for entry in store.entries())
+        assert names == ["Cholesky", "MatMul"]
+        # Each baked trace is already truncated to the spec's max_tasks.
+        assert all(entry.num_tasks == 50 for entry in store.entries())
+
+    def test_second_campaign_reports_zero_regenerations(self, tmp_path):
+        spec = acceptance_spec()
+        first_cache = ResultCache(tmp_path / "a")
+        trace_cache_clear()
+        first = ParallelRunner(num_workers=2, cache=first_cache).run(spec)
+        assert first.trace_generated == 2
+        # A different campaign cache but the same trace store: every trace is
+        # answered by a packed load, zero regenerations anywhere.
+        second_cache = ResultCache(tmp_path / "b")
+        trace_cache_clear()
+        second = ParallelRunner(
+            num_workers=2, cache=second_cache,
+            trace_store=TraceStore(tmp_path / "a" / "traces")).run(spec)
+        assert second.trace_generated == 0
+        assert second.trace_reused == 2
+        for mine, theirs in zip(first.results, second.results):
+            assert asdict(mine) == asdict(theirs)
+
+    def test_memo_hit_backfills_a_fresh_store(self, tmp_path):
+        """A store configured after the memo warmed up still gets baked."""
+        spec = tiny_spec(fast_generator=True)
+        trace_cache_clear()
+        SerialRunner().run(spec)  # warms the in-process memo, no store
+        fresh = TraceStore(tmp_path / "fresh")
+        run = SerialRunner(cache=ResultCache(tmp_path / "c"),
+                           trace_store=fresh).run(spec)
+        assert run.trace_generated == 0
+        assert len(fresh) == 1, "memoized trace was not baked into the store"
+        trace_cache_clear()
+
+    def test_disabled_store_overrides_env_var(self, monkeypatch, tmp_path):
+        """--no-trace-store must win over an exported REPRO_TRACE_STORE."""
+        env_root = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(env_root))
+        trace_cache_clear()
+        run = SerialRunner(cache=ResultCache(tmp_path / "c"),
+                           trace_store=False).run(tiny_spec())
+        assert run.trace_generated == 1
+        assert not env_root.exists(), "disabled runner wrote to the env store"
+
+    def test_env_var_store_reaches_execute_point(self, monkeypatch, tmp_path):
+        env_root = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(env_root))
+        trace_cache_clear()
+        execute_point({"workload": "Cholesky", "num_cores": 8,
+                       "scale_factor": 0.2, "max_tasks": 10,
+                       "fast_generator": True})
+        assert TraceStore(env_root).entries(), "env store was not baked into"
+        monkeypatch.delenv("REPRO_TRACE_STORE")
+        trace_cache_clear()
+
+    def test_trace_cache_size_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE_SIZE", raising=False)
+        default = trace_cache_size()
+        assert default >= 8
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "3")
+        assert trace_cache_size() == 3
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "0")
+        assert trace_cache_size() == 1  # clamped to at least one entry
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "junk")
+        assert trace_cache_size() == default
+
+    def test_memo_survives_multi_workload_grids(self, monkeypatch, tmp_path):
+        """A 9-trace grid with a size-4 memo still only generates each once.
+
+        The old ``lru_cache(maxsize=8)`` thrashed on grids touching more than
+        8 (workload, seed, scale) tuples *per axis pass*; the digest-keyed
+        memo backed by the store answers every repeat visit without
+        regeneration even when the memo itself is too small.
+        """
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "4")
+        spec = SweepSpec(
+            name="many-traces",
+            workloads=("Cholesky",),
+            axes={"frontend.num_trs": (1, 2),
+                  "seed": tuple(range(9))},
+            base={"num_cores": 4, "scale_factor": 0.2, "max_tasks": 10,
+                  "fast_generator": True},
+        )
+        assert spec.cardinality == 18
+        trace_cache_clear()
+        run = SerialRunner(cache=ResultCache(tmp_path)).run(spec)
+        # 9 distinct traces generated once each; the second TRS pass is
+        # answered by the packed store (or memo) despite the tiny memo.
+        assert run.trace_generated == 9
+        assert run.trace_reused == 9
+        trace_cache_clear()

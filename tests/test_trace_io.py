@@ -1,11 +1,13 @@
 """Tests for trace serialisation (JSON-lines reader/writer)."""
 
+import gzip
 import json
 
 import pytest
 
 from repro.common.errors import TraceFormatError
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import (read_trace, read_trace_header, read_trace_tasks,
+                            write_trace)
 from repro.trace.records import Direction, TaskTrace
 from repro.workloads.cholesky import CholeskyWorkload
 
@@ -47,6 +49,54 @@ class TestRoundTrip:
         record = json.loads(lines[1])
         assert record["seq"] == 0
         assert record["operands"][0][2] == Direction.OUTPUT.value
+
+
+class TestGzip:
+    def test_gz_suffix_round_trips(self, tmp_path):
+        original = fork_join_trace(width=3)
+        original.metadata["note"] = "compressed"
+        path = tmp_path / "trace.jsonl.gz"
+        write_trace(original, path)
+        loaded = read_trace(path)
+        assert loaded.name == original.name
+        assert loaded.metadata == original.metadata
+        for a, b in zip(original, loaded):
+            assert a.__dict__ == b.__dict__
+
+    def test_gz_file_is_actually_gzipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        write_trace(chain_trace(3), path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["trace"] == "chain"
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+
+
+class TestStreaming:
+    def test_read_trace_tasks_streams_records(self, tmp_path):
+        original = chain_trace(5)
+        path = tmp_path / "trace.jsonl"
+        write_trace(original, path)
+        stream = read_trace_tasks(path)
+        first = next(stream)
+        assert first.sequence == 0
+        rest = list(stream)
+        assert [t.sequence for t in rest] == [1, 2, 3, 4]
+
+    def test_read_trace_header_only(self, tmp_path):
+        original = fork_join_trace(width=2)
+        original.metadata["note"] = "hdr"
+        path = tmp_path / "trace.jsonl"
+        write_trace(original, path)
+        header = read_trace_header(path)
+        assert header["trace"] == original.name
+        assert header["metadata"]["note"] == "hdr"
+
+    def test_streaming_validates_header(self, tmp_path):
+        path = tmp_path / "noheader.jsonl"
+        path.write_text('{"seq": 0}\n')
+        with pytest.raises(TraceFormatError):
+            list(read_trace_tasks(path))
 
 
 class TestErrors:
