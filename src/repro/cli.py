@@ -22,6 +22,11 @@ Python:
 * ``python -m repro synth list|stress`` -- inspect the synthetic task-graph
   families and run the design-space stress campaigns
   (:mod:`repro.experiments.synthetic_stress`).
+* ``python -m repro campaign list|run|report`` -- seed-ensemble scenario
+  campaigns: cross-workload design-space grids with mean/std/95%-CI
+  aggregation and baseline-relative ablation tables, reports under
+  ``<artifacts>/campaigns/<campaign_id>/`` (:mod:`repro.sweep.campaign`,
+  :mod:`repro.experiments.campaigns`).
 * ``python -m repro bench run|compare|trace`` -- time the pinned performance
   suite, write a ``BENCH_<label>.json`` report, diff two reports with a
   regression tolerance, or measure packed trace-store loads against cold
@@ -277,6 +282,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro sweep`` flag -> (parameter name, default when the flag is absent).
+#: The flags parse with ``default=None`` so an explicitly passed value can be
+#: told apart from the default -- a spec axis may legitimately sweep any of
+#: these parameters, but silently shadowing an explicit flag (the old
+#: last-wins behaviour of ``--seed`` vs. a ``seed`` axis) is an error.
+_SWEEP_FLAG_PARAMS = {
+    "cores": ("num_cores", 256),
+    "scale_factor": ("scale_factor", 1.0),
+    "seed": ("seed", 0),
+    "system": ("system", "hardware"),
+}
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepSpec, parse_axis_value
 
@@ -287,11 +305,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         name, values = item.split("=", 1)
         axes[name.strip()] = [parse_axis_value(value)
                               for value in values.split(",")]
-    base = {"num_cores": args.cores, "scale_factor": args.scale_factor,
-            "seed": args.seed, "system": args.system,
-            "fast_generator": args.fast_generator}
+
+    base = {}
+    conflicts = []
+    for flag, (param, default) in _SWEEP_FLAG_PARAMS.items():
+        value = getattr(args, flag)
+        if value is not None and param in axes:
+            conflicts.append((flag.replace("_", "-"), param))
+        base[param] = default if value is None else value
+    if args.fast_generator and "fast_generator" in axes:
+        conflicts.append(("fast-generator", "fast_generator"))
+    base["fast_generator"] = args.fast_generator
     if args.max_tasks is not None:
+        if "max_tasks" in axes:
+            conflicts.append(("max-tasks", "max_tasks"))
         base["max_tasks"] = args.max_tasks
+    if conflicts:
+        rendered = "; ".join(f"--{flag} vs axis {param!r}"
+                             for flag, param in conflicts)
+        raise SystemExit(
+            f"conflicting sweep parameters: {rendered}. The axis would "
+            "silently shadow the flag; drop the flag and let the axis sweep "
+            "the parameter, or remove the axis.")
     from repro.common.errors import ConfigurationError
 
     spec = SweepSpec(name=args.name, workloads=args.workload, axes=axes, base=base)
@@ -313,6 +348,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if store is not None:
         print(f"{run.trace_summary()} (store: {store.root})")
     _print_artifacts(cache)
+    return 0
+
+
+def _campaign_from_args(args: argparse.Namespace):
+    from repro.experiments import campaigns as drivers
+
+    seeds = range(args.seeds) if args.seeds else None
+    try:
+        return drivers.get_campaign(args.campaign, seeds=seeds,
+                                    quick=args.quick)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.sweep.campaign import (campaign_dir, format_report,
+                                      load_report, run_campaign, write_report)
+
+    if args.action == "list":
+        from repro.experiments import campaigns as drivers
+
+        print(f"{'Campaign':18s} Description")
+        for name in sorted(drivers.CAMPAIGNS):
+            print(f"{name:18s} {drivers.DESCRIPTIONS.get(name, '')}")
+        print("\nrun one with: repro campaign run --campaign NAME "
+              "[--seeds N] [--quick] [--jobs N] [--artifacts DIR]")
+        return 0
+
+    campaign = _campaign_from_args(args)
+
+    if args.action == "report":
+        from repro.sweep.cache import DEFAULT_CACHE_ROOT
+
+        directory = campaign_dir(args.artifacts or DEFAULT_CACHE_ROOT,
+                                 campaign.campaign_id)
+        if not (directory / "report.json").exists():
+            raise SystemExit(
+                f"no report under {directory}; run `repro campaign run "
+                f"--campaign {args.campaign}` with the same flags first")
+        print(format_report(load_report(directory)))
+        print(f"report: {directory}")
+        return 0
+
+    # action == "run"
+    print(campaign.describe())
+    runner, cache = _make_runner(args)
+
+    def progress(member, group, done, total):
+        print(f"  [{member}] {done}/{total} {group.label()}")
+
+    report = run_campaign(campaign, runner, progress=progress)
+    print(format_report(report))
+    print(f"campaign totals: {report.recomputed_points} points recomputed, "
+          f"{report.regenerated_traces} traces regenerated")
+    if cache is not None:
+        directory = write_report(report, cache)
+        print(f"report: {directory}")
+        _print_artifacts(cache)
     return 0
 
 
@@ -389,13 +482,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
                        help="sweep axis, e.g. frontend.num_trs=1,4,16 "
                             "(repeatable; axes form a Cartesian grid)")
-    sweep.add_argument("--name", default="cli-sweep", help="campaign name")
-    sweep.add_argument("--cores", type=int, default=256)
-    sweep.add_argument("--scale-factor", type=float, default=1.0)
-    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--name", default="cli-sweep", help="sweep name")
+    # Defaults are None sentinels so _cmd_sweep can detect an explicit flag
+    # that a spec axis would silently shadow (see _SWEEP_FLAG_PARAMS).
+    sweep.add_argument("--cores", type=int, default=None,
+                       help="backend core count (default 256)")
+    sweep.add_argument("--scale-factor", type=float, default=None,
+                       help="problem-size multiplier (default 1.0)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="trace-generator seed (default 0)")
     sweep.add_argument("--max-tasks", type=int, default=None)
     sweep.add_argument("--system", choices=("hardware", "software"),
-                       default="hardware")
+                       default=None)
     sweep.add_argument("--fast-generator", action="store_true",
                        help="use the near-zero-cost task-generating thread")
     sweep.add_argument("--jobs", type=int, default=1,
@@ -411,6 +509,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate traces per process instead of baking "
                             "them once")
     sweep.set_defaults(func=_cmd_sweep)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="seed-ensemble scenario campaigns "
+                         "(see repro.sweep.campaign)")
+    campaign_sub = campaign.add_subparsers(dest="action", required=True)
+    campaign_list = campaign_sub.add_parser(
+        "list", help="show the registered campaign drivers")
+    campaign_list.set_defaults(func=_cmd_campaign)
+
+    def _campaign_common(sub):
+        sub.add_argument("--campaign", required=True, metavar="NAME",
+                         help="registered campaign (see `repro campaign list`)")
+        sub.add_argument("--seeds", type=int, default=0, metavar="N",
+                         help="ensemble size: seeds range(N) "
+                              "(default: the driver's ensemble)")
+        sub.add_argument("--quick", action="store_true",
+                         help="shrunk workloads/axes so the campaign "
+                              "finishes in seconds")
+        sub.add_argument("--artifacts", default=None,
+                         help="cache directory (default "
+                              ".repro-artifacts/sweeps); the report lands "
+                              "under <artifacts>/campaigns/<id>")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign (cached + resumable) and write its report")
+    _campaign_common(campaign_run)
+    campaign_run.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (1 = serial)")
+    campaign_run.add_argument("--no-cache", action="store_true",
+                              help="recompute every point; write no report")
+    campaign_run.add_argument("--trace-store", default=None,
+                              help="packed trace store root (default "
+                                   "<artifacts>/traces)")
+    campaign_run.add_argument("--no-trace-store", action="store_true",
+                              help="regenerate traces per process instead of "
+                                   "baking them once")
+    campaign_run.set_defaults(func=_cmd_campaign)
+    campaign_report = campaign_sub.add_parser(
+        "report", help="print the stored report of an already-run campaign")
+    _campaign_common(campaign_report)
+    campaign_report.set_defaults(func=_cmd_campaign)
 
     bench = subparsers.add_parser(
         "bench", help="performance-tracking suite (see repro.sweep.bench)")

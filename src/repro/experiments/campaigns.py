@@ -1,0 +1,125 @@
+"""Campaign drivers: the design-space study and the capacity ablation.
+
+Two ready-made :class:`~repro.sweep.campaign.Campaign` families, exposed on
+the CLI as ``repro campaign run|report|list``:
+
+* ``design-space`` -- the cross-workload capacity x parallelism x width
+  study the ROADMAP asks for: task-window capacity (``frontend.num_trs``),
+  backend parallelism (``num_cores``) and frontend machine width (linked
+  ORT/OVT lane counts) swept together over Table I benchmarks *and*
+  synthetic families, with a seed ensemble providing variance bars.
+* ``window-ablation`` -- a variant grid diffed against the paper's Table II
+  operating point: ORT/OVT capacity halved, TRS (task-window) capacity
+  halved, and an effectively unbounded window, each reported as
+  baseline-relative deltas per metric per design point.
+
+Both are incremental: every underlying point is an ordinary sweep point in
+the content-addressed result cache and every trace lives in the packed
+trace store, so re-running a campaign recomputes nothing and widening the
+seed ensemble simulates only the new seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.sweep.campaign import Ablation, Campaign
+from repro.sweep.spec import SweepSpec
+
+#: Default ensemble for both drivers (variance bars need >= 3 seeds).
+DEFAULT_SEEDS = (0, 1, 2)
+
+#: 512 MB: far above any trace in the repo, i.e. an unbounded task window.
+_UNBOUNDED_TRS_BYTES = 512 * 1024 * 1024
+
+
+def design_space_campaign(seeds: Sequence[int] = DEFAULT_SEEDS,
+                          quick: bool = False) -> Campaign:
+    """Capacity x parallelism x width over Table I + synthetic workloads.
+
+    ``quick`` shrinks the workload list, every axis and the traces so two
+    back-to-back runs (the zero-recompute check) finish in CI time.
+    """
+    if quick:
+        workloads = ("Cholesky", "random_dag:width=8,dep_distance=16")
+        window, cores, width = (2, 8), (16, 64), (1, 2)
+        base = {"scale_factor": 0.3, "max_tasks": 50, "fast_generator": True}
+    else:
+        workloads = ("Cholesky", "H264",
+                     "random_dag:width=16,dep_distance=32",
+                     "pipeline_chain:width=8,dep_distance=16")
+        window, cores, width = (2, 8, 32), (16, 64, 256), (1, 2, 4)
+        base = {"max_tasks": 400, "fast_generator": True}
+    spec = SweepSpec(
+        name="grid",
+        workloads=workloads,
+        axes={
+            "frontend.num_trs": window,
+            "num_cores": cores,
+            "width": [{"frontend.num_ort": n, "frontend.num_ovt": n}
+                      for n in width],
+        },
+        base=base,
+    )
+    return Campaign(name="design-space", members=(spec,), seeds=seeds)
+
+
+def window_ablation(quick: bool = False) -> Ablation:
+    """The capacity ablation grid (baseline = Table II operating point)."""
+    if quick:
+        workloads: Sequence[str] = ("Cholesky",)
+        axes = {"num_cores": (16,)}
+        base = {"scale_factor": 0.3, "max_tasks": 50, "fast_generator": True}
+    else:
+        workloads = ("Cholesky", "H264")
+        axes = {"num_cores": (32, 128)}
+        base = {"max_tasks": 300, "fast_generator": True}
+    return Ablation(
+        name="window-ablation",
+        workloads=workloads,
+        axes=axes,
+        base=base,
+        # Baseline: the paper's operating point (Table II defaults).
+        baseline_overrides={},
+        variants={
+            "ort-ovt-half": {"frontend.num_ort": 1, "frontend.num_ovt": 1},
+            "trs-half": {"frontend.num_trs": 4},
+            "window-unbounded": {
+                "frontend.num_trs": 32,
+                "frontend.total_trs_capacity_bytes": _UNBOUNDED_TRS_BYTES,
+            },
+        },
+    )
+
+
+def window_ablation_campaign(seeds: Sequence[int] = DEFAULT_SEEDS,
+                             quick: bool = False) -> Campaign:
+    """The capacity ablation as a runnable campaign."""
+    return window_ablation(quick=quick).campaign(seeds=seeds)
+
+
+#: name -> factory(seeds, quick) registry the CLI resolves ``--campaign`` in.
+CampaignFactory = Callable[..., Campaign]
+CAMPAIGNS: Dict[str, CampaignFactory] = {
+    "design-space": design_space_campaign,
+    "window-ablation": window_ablation_campaign,
+}
+
+#: One-line descriptions for ``repro campaign list``.
+DESCRIPTIONS: Dict[str, str] = {
+    "design-space": "task-window x cores x frontend width over Table I + "
+                    "synthetic workloads",
+    "window-ablation": "ORT/OVT halved, TRS halved and unbounded window vs "
+                       "the Table II baseline",
+}
+
+
+def get_campaign(name: str, seeds: Optional[Sequence[int]] = None,
+                 quick: bool = False) -> Campaign:
+    """Build the named campaign (CLI resolver)."""
+    try:
+        factory = CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise ValueError(f"unknown campaign {name!r}; known: {known}")
+    return factory(seeds=tuple(seeds) if seeds else DEFAULT_SEEDS, quick=quick)

@@ -230,13 +230,18 @@ class StatsCollector:
 
         Counters appear under their own name; accumulators contribute
         ``<name>.mean`` / ``<name>.max``; histograms contribute
-        ``<name>.count`` / ``<name>.mean`` / ``<name>.p95`` (so reports can
-        quote chain-length percentiles without reaching into internals); each
-        time series contributes its sample count as ``<name>.samples``.
+        ``<name>.count`` / ``<name>.mean`` / ``<name>.max`` / ``<name>.p95``
+        (so reports can quote chain-length percentiles without reaching into
+        internals); each time series contributes its sample count as
+        ``<name>.samples``.
 
-        When one name is used as both an accumulator and a histogram, the
-        accumulator's ``<name>.mean`` wins (histogram entries never
-        overwrite existing keys).
+        Collision rule (asserted by the test suite): when one name is used
+        as both an accumulator and a histogram, the *accumulator* owns the
+        shared ``<name>.mean`` and ``<name>.max`` keys -- histogram entries
+        are written with ``setdefault`` and never overwrite them -- while
+        ``<name>.count`` and ``<name>.p95`` always report the histogram
+        (accumulators never emit those suffixes).  Give the two metrics
+        distinct names if both means must be visible.
         """
         result: Dict[str, float] = {}
         for name, cell in sorted(self._counters.items()):
@@ -247,6 +252,8 @@ class StatsCollector:
         for name, hist in sorted(self.histograms.items()):
             result[f"{name}.count"] = float(hist.count)
             result.setdefault(f"{name}.mean", hist.mean())
+            result.setdefault(f"{name}.max",
+                              float(hist.max()) if hist.count else 0.0)
             result[f"{name}.p95"] = (float(hist.percentile(0.95))
                                      if hist.count else 0.0)
         for name, entries in sorted(self.samples.items()):

@@ -14,6 +14,12 @@ cacheable, parallelisable campaigns:
 * :mod:`repro.sweep.bench` pins a performance-tracking scenario suite on top
   (``repro bench run|compare``), reporting events/sec per ``BENCH_*.json``
   so hot-path regressions are caught by comparison with a tolerance,
+* :mod:`repro.sweep.campaign` composes named specs into scenario campaigns
+  (``repro campaign run|report``): a seed-ensemble axis with
+  mean/std/min/max/95%-CI aggregation per design point, ablation grids
+  diffed against a declared baseline, and JSON/CSV reports under
+  ``<artifacts>/campaigns/<campaign_id>/`` -- all incremental thanks to the
+  result cache and trace store,
 * the runners pair with a :class:`~repro.trace.store.TraceStore`
   (``<artifacts>/traces``, derived from the result cache by default): the
   parent bakes each distinct task trace once as a packed binary before
@@ -24,15 +30,21 @@ See ``examples/sweep_campaign.py`` for an end-to-end campaign.
 """
 
 from repro.sweep.cache import DEFAULT_CACHE_ROOT, ResultCache
+from repro.sweep.campaign import (Ablation, Campaign, CampaignReport,
+                                  aggregate_run, run_campaign)
 from repro.sweep.runner import (ParallelRunner, SerialRunner, SweepRun,
                                 adaptive_chunksize, configure_trace_store,
                                 default_runner, execute_point,
                                 resolve_trace_store, trace_for_params,
                                 workload_params)
-from repro.sweep.spec import SweepPoint, SweepSpec, parse_axis_value
+from repro.sweep.spec import (SweepPoint, SweepSpec, canonical_scalar,
+                              parse_axis_value)
 from repro.trace.store import TraceStore
 
 __all__ = [
+    "Ablation",
+    "Campaign",
+    "CampaignReport",
     "DEFAULT_CACHE_ROOT",
     "ParallelRunner",
     "ResultCache",
@@ -42,11 +54,14 @@ __all__ = [
     "SweepSpec",
     "TraceStore",
     "adaptive_chunksize",
+    "aggregate_run",
+    "canonical_scalar",
     "configure_trace_store",
     "default_runner",
     "execute_point",
     "parse_axis_value",
     "resolve_trace_store",
+    "run_campaign",
     "trace_for_params",
     "workload_params",
 ]

@@ -30,8 +30,10 @@ from repro.common.fileio import atomic_write_text
 from repro.sweep.spec import SweepPoint
 
 #: Bump when the entry layout changes; mismatched entries are treated as
-#: misses so stale artifacts never poison newer code.
-SCHEMA_VERSION = 1
+#: misses so stale artifacts never poison newer code.  2: results carry
+#: ``<hist>.max`` stats keys (histograms gained a ``.max`` summary entry),
+#: so schema-1 entries would serve an inconsistent stats contract.
+SCHEMA_VERSION = 2
 
 #: Default artifacts directory (relative to the working directory).
 DEFAULT_CACHE_ROOT = Path(".repro-artifacts") / "sweeps"

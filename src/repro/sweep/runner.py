@@ -36,7 +36,8 @@ from repro.common.errors import ConfigurationError, SweepExecutionError
 from repro.common.hashing import content_digest
 from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
 from repro.sweep.spec import (OVERRIDE_SECTIONS, WORKLOAD_SECTION, ParamValue,
-                              SweepPoint, SweepSpec, spec_id_of)
+                              SweepPoint, SweepSpec, canonical_scalar,
+                              spec_id_of)
 from repro.trace.store import TraceStore, canonical_trace_params
 
 _WORKLOAD_PREFIX = WORKLOAD_SECTION + "."
@@ -191,15 +192,20 @@ def trace_key_for_params(params: Dict[str, ParamValue],
     Every site that names a trace -- the per-process memo, the parent-side
     pre-bake, the bake CLI and the trace bench -- derives its key through
     this one helper, so the parent can never bake under a different digest
-    than the one workers look up.
+    than the one workers look up.  Scalars are canonicalised the same way
+    :meth:`SweepSpec.points` canonicalises point parameters
+    (:func:`repro.sweep.spec.canonical_scalar`), so a standalone
+    ``execute_point`` caller passing ``seed="3"`` or
+    ``workload.width="16"`` names the same trace as a spec-driven sweep.
     """
-    max_tasks = params.get("max_tasks")
+    max_tasks = canonical_scalar(params.get("max_tasks"))
     key_params = canonical_trace_params(
         str(params["workload"]),
-        scale_factor=float(params.get("scale_factor", 1.0)),
-        seed=int(params.get("seed", 0)),
+        scale_factor=float(canonical_scalar(params.get("scale_factor", 1.0))),
+        seed=int(canonical_scalar(params.get("seed", 0))),
         max_tasks=None if max_tasks is None else int(max_tasks),
-        workload_kwargs=workload_params(params))
+        workload_kwargs={name: canonical_scalar(value)
+                         for name, value in workload_params(params).items()})
     return key_params, content_digest(key_params)
 
 

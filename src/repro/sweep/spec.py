@@ -53,6 +53,7 @@ experiment drivers used before this subsystem existed.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
@@ -99,6 +100,42 @@ def _check_param_name(name: str) -> None:
         f"{sorted(DEFAULT_PARAMS)} + 'workload' or a dotted "
         f"'{{{'|'.join(OVERRIDE_SECTIONS + (WORKLOAD_SECTION,))}}}.<field>' override)"
     )
+
+
+def canonical_scalar(value: ParamValue) -> ParamValue:
+    """Normalise one scalar parameter value to its hashing-canonical form.
+
+    Execution coerces parameters per name (``seed`` through ``int``,
+    ``scale_factor`` through ``float``, ...), so values that coerce to the
+    same simulation must also hash to the same :attr:`SweepPoint.point_id`
+    and trace digest -- otherwise a seed passed as ``"0"`` (e.g. through a
+    JSON campaign file) creates a duplicate cache entry and a redundant
+    trace bake for a point the cache already holds as ``0``.
+
+    Numeric strings parse to numbers and integral floats collapse to ints
+    (``"0"``, ``0.0`` and ``0`` all canonicalise to ``0``), mirroring
+    :func:`repro.workloads.registry.canonical_spec`'s treatment of workload
+    spec strings.  Booleans, ``None`` and non-numeric strings (including
+    ``"nan"``/``"inf"``, which :func:`canonical_json` could not encode as
+    numbers) pass through unchanged.
+    """
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        try:
+            value = int(text)
+        except ValueError:
+            try:
+                parsed = float(text)
+            except ValueError:
+                return value
+            if not math.isfinite(parsed):
+                return value
+            value = parsed
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
 
 
 def _check_param_value(name: str, value: ParamValue) -> None:
@@ -232,9 +269,30 @@ class SweepSpec:
                         params[axis] = value
                 expanded.append(SweepPoint(
                     index=len(expanded),
-                    params=tuple(sorted(params.items())),
+                    # Canonicalise every scalar so equivalent spellings of
+                    # one configuration ("0" vs 0, 4.0 vs 4) share a
+                    # point_id, cache entry and trace bake.
+                    params=tuple(sorted((name, canonical_scalar(value))
+                                        for name, value in params.items())),
                 ))
         return expanded
+
+    def axis_parameter_names(self) -> set:
+        """Every parameter name the axes can assign.
+
+        Scalar axes assign their own name; linked (dict-valued) axes assign
+        each of their keys.  Used to detect conflicts with externally
+        supplied parameters (e.g. ``repro sweep --seed`` vs a ``seed`` axis,
+        or a campaign's seed-ensemble axis vs a member spec's own).
+        """
+        names: set = set()
+        for axis, values in self.axes.items():
+            for value in values:
+                if isinstance(value, Mapping):
+                    names.update(value)
+                else:
+                    names.add(axis)
+        return names
 
     @property
     def spec_id(self) -> str:
@@ -286,6 +344,7 @@ __all__ = [
     "SweepPoint",
     "SweepSpec",
     "canonical_json",
+    "canonical_scalar",
     "parse_axis_value",
     "spec_id_of",
 ]

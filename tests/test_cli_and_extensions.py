@@ -88,6 +88,59 @@ class TestCLI:
                      "--trace-store", str(tmp_path / "a" / "traces")]) == 0
         assert "traces: 0 regenerated" in capsys.readouterr().out
 
+    def test_sweep_explicit_seed_conflicts_with_seed_axis(self, capsys):
+        # Regression: an explicit --seed used to be silently shadowed by a
+        # seed axis (last-wins); now the conflict is a hard error.
+        with pytest.raises(SystemExit, match="seed"):
+            main(["sweep", "--workload", "Cholesky", "--seed", "3",
+                  "--axis", "seed=0,1", "--no-cache"])
+        with pytest.raises(SystemExit, match="num_cores"):
+            main(["sweep", "--workload", "Cholesky", "--cores", "8",
+                  "--axis", "num_cores=4,8", "--no-cache"])
+
+    def test_sweep_seed_axis_without_flag_is_fine(self, capsys):
+        assert main(["sweep", "--workload", "Cholesky",
+                     "--axis", "seed=0,1", "--scale-factor", "0.2",
+                     "--max-tasks", "10", "--fast-generator",
+                     "--no-cache"]) == 0
+        assert "2 points" in capsys.readouterr().out
+
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "design-space" in out
+        assert "window-ablation" in out
+
+    def test_campaign_run_and_report_roundtrip(self, tmp_path, capsys):
+        args = ["campaign", "run", "--campaign", "window-ablation",
+                "--quick", "--seeds", "2", "--artifacts", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "ablation vs baseline" in out
+        assert "report:" in out
+        # A second run is fully cache-served...
+        from repro.sweep.runner import trace_cache_clear
+
+        trace_cache_clear()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "campaign totals: 0 points recomputed, 0 traces regenerated" in out
+        # ...and `campaign report` reads the stored report back.
+        assert main(["campaign", "report", "--campaign", "window-ablation",
+                     "--quick", "--seeds", "2",
+                     "--artifacts", str(tmp_path)]) == 0
+        assert "window-ablation" in capsys.readouterr().out
+
+    def test_campaign_report_before_run_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no report"):
+            main(["campaign", "report", "--campaign", "design-space",
+                  "--quick", "--artifacts", str(tmp_path)])
+
+    def test_campaign_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown campaign"):
+            main(["campaign", "run", "--campaign", "nope",
+                  "--artifacts", str(tmp_path)])
+
     @pytest.mark.parametrize("artefact", ["table1", "table2", "fig1", "fig3"])
     def test_experiment_artefacts(self, artefact, capsys):
         assert main(["experiment", artefact]) == 0

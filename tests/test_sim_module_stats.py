@@ -142,7 +142,37 @@ class TestStatsCollector:
         assert summary["chain.length.count"] == 100.0
         assert summary["chain.length.mean"] == pytest.approx(1.3)
         assert summary["chain.length.p95"] == 1.0
+        assert summary["chain.length.max"] == 7.0
         assert summary["window.samples"] == 2.0
+
+    def test_summary_emits_histogram_max(self):
+        # Regression: accumulators reported <name>.max but histograms never
+        # did, so reports could not quote a histogram's largest observation.
+        stats = StatsCollector()
+        stats.observe("depth", 2)
+        stats.observe("depth", 9)
+        summary = stats.summary()
+        assert summary["depth.max"] == 9.0
+        empty = StatsCollector()
+        empty.histogram_handle("never")
+        assert empty.summary()["never.max"] == 0.0
+
+    def test_summary_collision_rule_accumulator_wins_shared_keys(self):
+        # Asserts the documented collision rule: when one name is both an
+        # accumulator and a histogram, the accumulator owns the shared
+        # <name>.mean / <name>.max keys (the histogram must not silently
+        # overwrite them), while <name>.count and <name>.p95 always report
+        # the histogram.
+        stats = StatsCollector()
+        stats.record("shared", 100.0)
+        stats.record("shared", 200.0)
+        stats.observe("shared", 1, weight=3)
+        stats.observe("shared", 5)
+        summary = stats.summary()
+        assert summary["shared.mean"] == pytest.approx(150.0)  # accumulator
+        assert summary["shared.max"] == 200.0                  # accumulator
+        assert summary["shared.count"] == 4.0                  # histogram
+        assert summary["shared.p95"] == 5.0                    # histogram
 
     def test_counter_handle_shares_the_cell_with_string_api(self):
         stats = StatsCollector()

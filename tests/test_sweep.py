@@ -28,7 +28,9 @@ from repro.sweep.runner import (ParallelRunner, SerialRunner, build_point_config
                                 default_runner, execute_point,
                                 resolve_trace_store, trace_cache_clear,
                                 trace_cache_size)
-from repro.sweep.spec import DEFAULT_PARAMS, SweepSpec, parse_axis_value
+from repro.sweep.runner import trace_key_for_params
+from repro.sweep.spec import (DEFAULT_PARAMS, SweepSpec, canonical_scalar,
+                              parse_axis_value)
 from repro.trace.store import TraceStore
 
 #: A small but non-trivial grid: 2 workloads x 2 ORT settings x 2 TRS
@@ -126,6 +128,79 @@ class TestSweepSpec:
         assert parse_axis_value("true") is True
         assert parse_axis_value("none") is None
         assert parse_axis_value("hardware") == "hardware"
+
+
+class TestScalarCanonicalization:
+    """Regression: equivalent scalar spellings must share one cache key.
+
+    A seed passed as ``"0"`` (e.g. through a JSON campaign file) used to
+    produce a different ``point_id`` and trace digest than the coerced ``0``
+    the runner executes, duplicating cache entries and trace bakes for one
+    simulated point.
+    """
+
+    def test_canonical_scalar_collapses_equivalent_spellings(self):
+        assert canonical_scalar("0") == 0
+        assert canonical_scalar(0.0) == 0
+        assert isinstance(canonical_scalar(0.0), int)
+        assert canonical_scalar("4.0") == 4
+        assert canonical_scalar("0.3") == 0.3
+        assert canonical_scalar(" 7 ") == 7
+        # Non-numeric values pass through untouched.
+        assert canonical_scalar(None) is None
+        assert canonical_scalar(True) is True
+        assert canonical_scalar(False) is False
+        assert canonical_scalar("hardware") == "hardware"
+        assert canonical_scalar("Cholesky") == "Cholesky"
+        # Non-finite floats cannot appear in canonical JSON; their string
+        # spellings stay strings instead of becoming unhashable floats.
+        assert canonical_scalar("nan") == "nan"
+        assert canonical_scalar("inf") == "inf"
+
+    def test_string_seed_axis_shares_point_id_with_int_seed(self):
+        def spec(seed_values):
+            return SweepSpec(name="seeds", workloads=("Cholesky",),
+                             axes={"seed": seed_values},
+                             base={"num_cores": 8, "scale_factor": 0.2,
+                                   "max_tasks": 10})
+
+        string_points = spec(["0", "1"]).points()
+        int_points = spec([0, 1]).points()
+        assert ([p.point_id for p in string_points]
+                == [p.point_id for p in int_points])
+        assert string_points[0].as_dict()["seed"] == 0
+
+    def test_equivalent_spellings_share_trace_digest(self):
+        base = {"workload": "Cholesky", "scale_factor": 0.2, "max_tasks": 10}
+        _, digest_int = trace_key_for_params({**base, "seed": 0})
+        _, digest_str = trace_key_for_params({**base, "seed": "0"})
+        assert digest_int == digest_str
+        _, kw_int = trace_key_for_params(
+            {"workload": "random_dag", "workload.width": 16})
+        _, kw_str = trace_key_for_params(
+            {"workload": "random_dag", "workload.width": "16"})
+        assert kw_int == kw_str
+
+    def test_string_seed_point_is_served_by_the_int_seed_cache(self, tmp_path):
+        """The end-to-end bug: no duplicate cache entry, no redundant bake."""
+        def spec(seed):
+            return SweepSpec(name="canon", workloads=("Cholesky",),
+                             axes={"frontend.num_trs": (1,)},
+                             base={"num_cores": 8, "scale_factor": 0.2,
+                                   "max_tasks": 10, "seed": seed,
+                                   "fast_generator": True})
+
+        cache = ResultCache(tmp_path)
+        trace_cache_clear()
+        first = SerialRunner(cache=cache).run(spec(0))
+        assert first.computed_count == 1
+        rerun = SerialRunner(cache=ResultCache(tmp_path)).run(spec("0"))
+        assert rerun.computed_count == 0, \
+            "string seed missed the cache entry of the equivalent int seed"
+        assert rerun.cached_count == 1
+        assert rerun.trace_generated == 0
+        assert len(cache) == 1, "duplicate cache entry for one configuration"
+        trace_cache_clear()
 
 
 # ---------------------------------------------------------------------------
