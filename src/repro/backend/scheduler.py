@@ -18,8 +18,9 @@ from repro.common.ids import TaskID
 from repro.cores.core import WorkerCore
 from repro.frontend.messages import TaskReady
 from repro.frontend.ready_queue import ReadyQueue
+from repro.obs.events import EV_TASK_DISPATCHED, EV_TASK_RETIRED
 from repro.sim.engine import Engine
-from repro.sim.module import SimModule
+from repro.sim.module import SimModule, obs_noop
 from repro.sim.stats import StatsCollector
 from repro.trace.records import TaskRecord
 
@@ -55,6 +56,18 @@ class TaskScheduler(SimModule):
         self._stat_completions = stats.counter_handle("scheduler.completions")
         self._stat_transfer_cycles = stats.counter_handle("scheduler.transfer_cycles")
 
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        observer = self._observer
+        if observer is not None:
+            self._obs_task = observer.task_handle(self.name)
+            self._obs_retired = observer.retired_handle()
+            observer.add_probe("scheduler.idle_cores",
+                               lambda: len(self._idle_cores))
+        else:
+            self._obs_task = obs_noop
+            self._obs_retired = obs_noop
+
     # -- Dispatch --------------------------------------------------------------------
 
     def _dispatch_pending(self) -> None:
@@ -71,6 +84,7 @@ class TaskScheduler(SimModule):
         self._start_times[ready.task] = self.now
         self._stat_dispatches.value += 1
         record = ready.record
+        self._obs_task(EV_TASK_DISPATCHED, self.now, record.sequence, core_index)
         if self.runtime_extension is not None:
             extra = self.runtime_extension(record, core_index)
             if extra:
@@ -86,6 +100,8 @@ class TaskScheduler(SimModule):
         self.tasks_completed += 1
         self.last_completion_time = self.now
         self._stat_completions.value += 1
+        self._obs_task(EV_TASK_RETIRED, self.now, record.sequence, core_index)
+        self._obs_retired(self.now)
         self._idle_cores.append(core_index)
         if self.on_task_complete is not None:
             self.on_task_complete(task, record)

@@ -69,11 +69,16 @@ class SimulationResult:
 class TaskSuperscalarSystem:
     """A full simulated machine driven by the task-superscalar frontend."""
 
-    def __init__(self, config: Optional[SimulationConfig] = None):
+    def __init__(self, config: Optional[SimulationConfig] = None,
+                 observer=None):
         self.config = config if config is not None else default_table2_config()
         self.config.validate()
         self.engine = Engine()
         self.stats = StatsCollector()
+        #: Optional :class:`repro.obs.Observer`.  Attaching one records
+        #: cycle-resolved telemetry but never changes simulation results
+        #: (observers only read state; see :mod:`repro.obs`).
+        self.observer = observer
         self.frontend = TaskSuperscalarFrontend(self.engine, self.config.frontend,
                                                 self.stats)
         self.cores = [WorkerCore(self.engine, i, self.stats)
@@ -82,6 +87,9 @@ class TaskSuperscalarSystem:
                                        self.frontend.ready_queue, self.frontend,
                                        self.stats)
         self.scheduler.on_task_complete = self._on_task_complete
+        if observer is not None:
+            self.frontend.bind_observer(observer)
+            self.scheduler.bind_observer(observer)
         self.memory_hierarchy = None
         if self.config.backend.model_data_transfers:
             # Optional extension: charge each task the cost of moving its
@@ -128,6 +136,11 @@ class TaskSuperscalarSystem:
             self.engine.max_events = max_events
         generator = TaskGeneratingThread(self.engine, trace, self.frontend,
                                          self.config.generator, self.stats)
+        if self.observer is not None:
+            generator.bind_observer(self.observer)
+            # Build the occupancy-sampling hook only now, after every module
+            # (generator included) has registered its probes.
+            self.engine.on_advance = self.observer.advance_hook()
         generator.start()
         self.engine.run()
 
@@ -175,7 +188,7 @@ class TaskSuperscalarSystem:
 
 def run_trace(trace: TaskTrace, config: Optional[SimulationConfig] = None,
               num_cores: Optional[int] = None, validate: bool = False,
-              **frontend_overrides) -> SimulationResult:
+              observer=None, **frontend_overrides) -> SimulationResult:
     """Convenience wrapper: build a system and run one trace through it.
 
     Args:
@@ -183,6 +196,7 @@ def run_trace(trace: TaskTrace, config: Optional[SimulationConfig] = None,
         config: Base configuration (Table II defaults when omitted).
         num_cores: Override the backend core count.
         validate: Check the schedule against the gold dependency graph.
+        observer: Optional :class:`repro.obs.Observer` to attach.
         **frontend_overrides: Field overrides for the frontend configuration
             (e.g. ``num_trs=4, num_ort=1, num_ovt=1``).
     """
@@ -191,5 +205,5 @@ def run_trace(trace: TaskTrace, config: Optional[SimulationConfig] = None,
         config = config.with_cores(num_cores)
     if frontend_overrides:
         config = config.with_frontend(**frontend_overrides)
-    system = TaskSuperscalarSystem(config)
+    system = TaskSuperscalarSystem(config, observer=observer)
     return system.run(trace, validate=validate)

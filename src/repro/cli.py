@@ -31,6 +31,10 @@ Python:
   suite, write a ``BENCH_<label>.json`` report, diff two reports with a
   regression tolerance, or measure packed trace-store loads against cold
   generation (:mod:`repro.sweep.bench`).
+* ``python -m repro obs record|report|export|heartbeats|gc`` -- cycle-resolved
+  pipeline telemetry: record one observed run, print its stall-attribution
+  report, or export it as Chrome/Perfetto trace JSON (:mod:`repro.obs`);
+  sweeps and campaigns take ``--obs`` to record per-point summaries.
 
 ``--workload`` accepts any registered workload, case-insensitively, including
 parameterized synthetic specs such as ``"random_dag:width=16,dep_distance=64"``
@@ -152,7 +156,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     verb = "would remove" if args.dry_run else "removed"
     what = ("all entries" if args.all
             else "stale, corrupt or orphaned-temp files")
-    print(f"{verb} {len(removed)} file(s) ({what}) under {store.root}; "
+    print(f"{verb} {len(removed)} file(s) ({what}) under {store.root}, "
+          f"reclaiming {store.last_gc_bytes} bytes; "
           f"{len(store)} entries {'present' if args.dry_run else 'remain'}")
     for path in removed:
         print(f"  {path}")
@@ -191,6 +196,45 @@ def _make_runner(args: argparse.Namespace):
 def _print_artifacts(cache) -> None:
     if cache is not None:
         print(f"artifacts: {cache.root} ({len(cache)} cached points)")
+
+
+def _configure_obs(args: argparse.Namespace):
+    """Install process observability from ``--obs``/``--obs-dir``.
+
+    Returns ``(obs_root, restore)``; both are ``None`` when the flags are
+    absent.  ``restore`` puts the previous process-global observability
+    settings back (call it in a ``finally``).
+    """
+    obs_dir = getattr(args, "obs_dir", None)
+    if not (getattr(args, "obs", False) or obs_dir):
+        return None, None
+    from repro.obs.io import DEFAULT_OBS_ROOT
+    from repro.sweep.runner import ObsSettings, configure_observability
+
+    root = str(obs_dir or DEFAULT_OBS_ROOT)
+    previous = configure_observability(ObsSettings(
+        root=root,
+        keep_recordings=bool(getattr(args, "obs_recordings", False))))
+    return root, lambda: configure_observability(previous)
+
+
+def _print_telemetry(root: str, digests=None) -> None:
+    """One headline line per point summary under ``root`` (sweep/campaign)."""
+    from repro.obs.report import load_point_summaries
+
+    summaries = load_point_summaries(root)
+    if digests is not None:
+        summaries = {digest: summary for digest, summary in summaries.items()
+                     if digest in digests}
+    print(f"telemetry: {len(summaries)} point summaries under {root} "
+          f"(inspect with: repro obs report --dir {root})")
+    for digest, summary in sorted(summaries.items()):
+        fractions = (summary.get("stalls") or {}).get("fractions") or {}
+        top = max(fractions.items(), key=lambda item: item[1], default=None)
+        headline = (f"top stall {top[0]} ({top[1] * 100:.1f}%)"
+                    if top and top[1] > 0 else "no stalls attributed")
+        print(f"  {digest[:12]}  {summary.get('tasks', 0):>6} tasks "
+              f"{summary.get('events', 0):>9} events  {headline}")
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -241,11 +285,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         report = bench.run_suite(quick=args.quick, repeat=args.repeat,
                                  label=args.label, only=args.only,
-                                 progress=progress)
+                                 progress=progress, obs=args.obs)
         path = args.output or bench.report_path(args.label)
         bench.write_report(report, path)
         print(bench.format_report(report))
         print(f"wrote {path}")
+        return 0
+
+    if args.action == "obs-overhead":
+        def progress(entry_off, entry_on):
+            off = entry_off["timing"]["wall_seconds"]
+            on = entry_on["timing"]["wall_seconds"]
+            overhead = entry_on["timing"]["overhead_ratio"]
+            print(f"  {entry_off['name']:18s} off {off:6.2f}s "
+                  f"on {on:6.2f}s  overhead {overhead:.3f}x "
+                  f"(median of paired rounds)")
+
+        report_off, report_on = bench.run_suite_pair(
+            quick=args.quick, repeat=args.repeat, label_off=args.label_off,
+            label_on=args.label_on, only=args.only, progress=progress)
+        path_off = bench.report_path(args.label_off)
+        path_on = bench.report_path(args.label_on)
+        bench.write_report(report_off, path_off)
+        bench.write_report(report_on, path_on)
+        print(f"wrote {path_off} and {path_on} (paired interleaved runs; "
+              f"gate with 'repro bench compare')")
         return 0
 
     if args.action == "trace":
@@ -269,15 +333,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # action == "compare"
     old = bench.load_report(args.old)
     new = bench.load_report(args.new)
-    comparison = bench.compare_reports(old, new, tolerance=args.tolerance)
+    comparison = bench.compare_reports(old, new, tolerance=args.tolerance,
+                                       aggregate=args.geomean)
     print(comparison.format())
     if comparison.mismatches:
         print("note: deterministic metrics differ for "
               f"{', '.join(comparison.mismatches)}; those ratios mix "
               "behaviour changes with performance changes")
     if not comparison.ok:
-        names = ", ".join(delta.name for delta in comparison.regressions)
-        print(f"FAIL: regression beyond {args.tolerance:.0%} in {names}")
+        if args.geomean:
+            print(f"FAIL: geomean {comparison.overall_ratio:.2f}x beyond "
+                  f"{args.tolerance:.0%}")
+        else:
+            names = ", ".join(delta.name for delta in comparison.regressions)
+            print(f"FAIL: regression beyond {args.tolerance:.0%} in {names}")
         return 1
     return 0
 
@@ -337,16 +406,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(spec.describe())
 
     runner, cache = _make_runner(args)
+    obs_root, obs_restore = _configure_obs(args)
 
     def progress(point, result, was_cached):
         origin = "cache" if was_cached else "run  "
         print(f"  [{origin}] {point.label()} -> {result.summary()}")
 
-    run = runner.run(spec, progress=progress)
+    try:
+        run = runner.run(spec, progress=progress)
+    finally:
+        if obs_restore is not None:
+            obs_restore()
     print(run.summary())
     store = getattr(runner, "trace_store", None)
     if store is not None:
         print(f"{run.trace_summary()} (store: {store.root})")
+    if obs_root is not None:
+        _print_telemetry(obs_root,
+                         {point.point_id for point in spec.points()})
     _print_artifacts(cache)
     return 0
 
@@ -394,18 +471,153 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # action == "run"
     print(campaign.describe())
     runner, cache = _make_runner(args)
+    obs_root, obs_restore = _configure_obs(args)
 
     def progress(member, group, done, total):
         print(f"  [{member}] {done}/{total} {group.label()}")
 
-    report = run_campaign(campaign, runner, progress=progress)
+    try:
+        report = run_campaign(campaign, runner, progress=progress)
+    finally:
+        if obs_restore is not None:
+            obs_restore()
     print(format_report(report))
+    if obs_root is not None:
+        _print_telemetry(obs_root)
     print(f"campaign totals: {report.recomputed_points} points recomputed, "
           f"{report.regenerated_traces} traces regenerated")
     if cache is not None:
         directory = write_report(report, cache)
         print(f"report: {directory}")
         _print_artifacts(cache)
+    return 0
+
+
+def _obs_find_summary(root, prefix: Optional[str]):
+    """Resolve ``--point PREFIX`` against ``<root>/points`` (digest, summary)."""
+    from repro.obs.report import load_point_summaries
+
+    summaries = load_point_summaries(root)
+    if not summaries:
+        raise SystemExit(f"no point summaries under {root}; record one with "
+                         "`repro obs record` or run a sweep with --obs")
+    if prefix:
+        matches = {digest: summary for digest, summary in summaries.items()
+                   if digest.startswith(prefix)}
+        if not matches:
+            raise SystemExit(f"no point summary matching {prefix!r} under "
+                             f"{root}; known: "
+                             + ", ".join(d[:12] for d in sorted(summaries)))
+        if len(matches) > 1:
+            raise SystemExit(f"{prefix!r} is ambiguous: "
+                             + ", ".join(d[:12] for d in sorted(matches)))
+        return next(iter(matches.items()))
+    if len(summaries) == 1:
+        return next(iter(summaries.items()))
+    listing = "\n".join(f"  {digest[:12]}  {summary.get('tasks', 0)} tasks, "
+                        f"{summary.get('events', 0)} events"
+                        for digest, summary in sorted(summaries.items()))
+    raise SystemExit(f"{len(summaries)} point summaries under {root}; pick "
+                     f"one with --point PREFIX:\n{listing}")
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.io import gc_obs_dir, load_recording
+    from repro.obs.report import format_report, point_summary
+
+    if args.action == "record":
+        from repro.common.hashing import content_digest
+        from repro.sweep.runner import (ObsSettings, configure_observability,
+                                        execute_point)
+
+        params = {"workload": args.workload, "num_cores": args.cores,
+                  "scale_factor": args.scale_factor, "seed": args.seed}
+        if args.max_tasks is not None:
+            params["max_tasks"] = args.max_tasks
+        if args.fast_generator:
+            params["fast_generator"] = True
+        # Interactive recordings are for Perfetto inspection, so turn on the
+        # per-packet service spans that sweeps leave off for overhead.
+        settings = ObsSettings(root=str(args.dir), capacity=args.capacity,
+                               sample_interval=args.sample_interval,
+                               module_spans=True, keep_recordings=True)
+        previous = configure_observability(settings)
+        try:
+            result = execute_point(params)
+        finally:
+            configure_observability(previous)
+        digest = content_digest(params)
+        print(f"recorded {params['workload']} "
+              f"(makespan {result['makespan_cycles']} cycles) -> "
+              f"point {digest[:12]}")
+        print(f"  summary  : {args.dir}/points/{digest}.json")
+        print(f"  recording: {args.dir}/recordings/{digest}.robs")
+        print("inspect with: repro obs report --dir "
+              f"{args.dir} --point {digest[:12]}")
+        return 0
+
+    if args.action == "report":
+        if args.input:
+            summary = point_summary(load_recording(args.input))
+            print(f"recording: {args.input}")
+        else:
+            digest, summary = _obs_find_summary(args.dir, args.point)
+            print(f"point: {digest}")
+        print(format_report(summary))
+        return 0
+
+    if args.action == "export":
+        from pathlib import Path
+
+        from repro.common.fileio import atomic_write_text
+        from repro.obs.export import to_trace_events, validate_trace_events
+
+        if args.input:
+            source = Path(args.input)
+        else:
+            digest, _summary = _obs_find_summary(args.dir, args.point)
+            source = Path(args.dir) / "recordings" / f"{digest}.robs"
+            if not source.exists():
+                raise SystemExit(
+                    f"{source} does not exist (the sweep kept only the "
+                    "summary); re-record with `repro obs record` or keep "
+                    "recordings with --obs-recordings")
+        recording = load_recording(source)
+        document = to_trace_events(recording)
+        count = validate_trace_events(document)
+        output = args.output or str(source.with_suffix(".trace.json"))
+        atomic_write_text(output, _json.dumps(document))
+        print(f"wrote {output} ({count} trace events"
+              f"{', validated' if args.validate else ''})")
+        print("open it at https://ui.perfetto.dev (or chrome://tracing); "
+              "1 viewer us = 1 simulation cycle")
+        return 0
+
+    if args.action == "heartbeats":
+        from repro.obs.report import read_heartbeats
+
+        records = read_heartbeats(args.dir)
+        if not records:
+            print(f"no heartbeats under {args.dir}")
+            return 0
+        for record in records[-args.tail:]:
+            extras = {key: value for key, value in sorted(record.items())
+                      if key not in ("time", "event", "pid")}
+            rendered = " ".join(f"{key}={value}" for key, value in extras.items())
+            print(f"  {record.get('time', 0):.3f} pid={record.get('pid')} "
+                  f"{record.get('event', '?'):12s} {rendered}")
+        print(f"{len(records)} heartbeat records under {args.dir}")
+        return 0
+
+    # action == "gc"
+    removed, reclaimed = gc_obs_dir(args.dir, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} obs artifact(s) under {args.dir}, "
+          f"reclaiming {reclaimed} bytes")
+    for path in removed:
+        print(f"  {path}")
     return 0
 
 
@@ -505,6 +717,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace-store", default=None,
                        help="packed trace store root (default "
                             "<artifacts>/traces; shared across campaigns)")
+    sweep.add_argument("--obs", action="store_true",
+                       help="record cycle-resolved telemetry per simulated "
+                            "point (summaries under the obs dir)")
+    sweep.add_argument("--obs-dir", default=None, metavar="DIR",
+                       help="obs artifact directory (implies --obs; default "
+                            ".repro-artifacts/obs)")
+    sweep.add_argument("--obs-recordings", action="store_true",
+                       help="also keep full .robs event recordings "
+                            "(large; required for `repro obs export`)")
     sweep.add_argument("--no-trace-store", action="store_true",
                        help="regenerate traces per process instead of baking "
                             "them once")
@@ -542,6 +763,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--trace-store", default=None,
                               help="packed trace store root (default "
                                    "<artifacts>/traces)")
+    campaign_run.add_argument("--obs", action="store_true",
+                              help="record cycle-resolved telemetry per "
+                                   "simulated point")
+    campaign_run.add_argument("--obs-dir", default=None, metavar="DIR",
+                              help="obs artifact directory (implies --obs)")
+    campaign_run.add_argument("--obs-recordings", action="store_true",
+                              help="also keep full .robs event recordings")
     campaign_run.add_argument("--no-trace-store", action="store_true",
                               help="regenerate traces per process instead of "
                                    "baking them once")
@@ -565,9 +793,34 @@ def build_parser() -> argparse.ArgumentParser:
                            help="shrunk traces so the suite finishes in seconds")
     bench_run.add_argument("--repeat", type=int, default=1,
                            help="time each scenario N times, report the fastest")
+    bench_run.add_argument("--obs", action="store_true",
+                           help="attach a telemetry observer to every run "
+                                "(times the instrumented hot path; for "
+                                "overhead gating via `bench compare`)")
     bench_run.add_argument("--only", action="append", metavar="SCENARIO",
                            help="run only the named scenario (repeatable)")
     bench_run.set_defaults(func=_cmd_bench)
+    bench_obs = bench_sub.add_parser(
+        "obs-overhead",
+        help="paired obs-off/obs-on suite timing (interleaved in one "
+             "process, so the ratio isolates telemetry overhead from host "
+             "drift); writes both reports for `bench compare`")
+    bench_obs.add_argument("--quick", action="store_true",
+                           help="shrunk traces so the suite finishes in seconds")
+    bench_obs.add_argument("--repeat", type=int, default=5,
+                           help="paired rounds per scenario; the overhead "
+                                "gate uses the median per-round ratio, the "
+                                "throughput tables the fastest run on each "
+                                "side (default 5)")
+    bench_obs.add_argument("--label-off", default="obs-off",
+                           help="label for the obs-off report (default "
+                                "'obs-off')")
+    bench_obs.add_argument("--label-on", default="obs-on",
+                           help="label for the obs-on report (default "
+                                "'obs-on')")
+    bench_obs.add_argument("--only", action="append", metavar="SCENARIO",
+                           help="run only the named scenario (repeatable)")
+    bench_obs.set_defaults(func=_cmd_bench)
     bench_trace = bench_sub.add_parser(
         "trace", help="time packed trace-store load vs cold generation")
     bench_trace.add_argument("--quick", action="store_true",
@@ -591,7 +844,74 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--tolerance", type=float, default=0.05,
                                help="allowed fractional slowdown before a "
                                     "scenario counts as a regression")
+    bench_compare.add_argument("--geomean", action="store_true",
+                               help="gate on the suite geomean instead of "
+                                    "per-scenario ratios (budget-style "
+                                    "checks, e.g. telemetry overhead)")
     bench_compare.set_defaults(func=_cmd_bench)
+
+    from repro.obs.io import DEFAULT_OBS_ROOT
+
+    obs = subparsers.add_parser(
+        "obs", help="cycle-resolved pipeline telemetry "
+                    "(record, stall report, Perfetto export)")
+    obs_sub = obs.add_subparsers(dest="action", required=True)
+
+    def _obs_dir_arg(sub):
+        sub.add_argument("--dir", default=str(DEFAULT_OBS_ROOT), metavar="DIR",
+                         help="obs artifact directory "
+                              f"(default {DEFAULT_OBS_ROOT})")
+
+    obs_record = obs_sub.add_parser(
+        "record", help="simulate one point with telemetry on and keep "
+                       "the full recording")
+    obs_record.add_argument("--workload", required=True, type=_workload_arg)
+    obs_record.add_argument("--cores", type=int, default=256)
+    obs_record.add_argument("--scale-factor", type=float, default=1.0)
+    obs_record.add_argument("--seed", type=int, default=0)
+    obs_record.add_argument("--max-tasks", type=int, default=None)
+    obs_record.add_argument("--fast-generator", action="store_true")
+    obs_record.add_argument("--capacity", type=int, default=1 << 20,
+                            help="event ring capacity (oldest events drop "
+                                 "beyond this; default 1Mi events)")
+    obs_record.add_argument("--sample-interval", type=int, default=256,
+                            help="occupancy sampling period in cycles "
+                                 "(0 disables sampling)")
+    _obs_dir_arg(obs_record)
+    obs_record.set_defaults(func=_cmd_obs)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="print a point's stall-attribution report")
+    obs_report.add_argument("--point", default=None, metavar="PREFIX",
+                            help="digest prefix of the point to report")
+    obs_report.add_argument("--input", default=None, metavar="FILE.robs",
+                            help="report a raw recording file instead")
+    _obs_dir_arg(obs_report)
+    obs_report.set_defaults(func=_cmd_obs)
+
+    obs_export = obs_sub.add_parser(
+        "export", help="export a recording as Chrome/Perfetto trace JSON")
+    obs_export.add_argument("--point", default=None, metavar="PREFIX")
+    obs_export.add_argument("--input", default=None, metavar="FILE.robs")
+    obs_export.add_argument("--output", default=None, metavar="FILE.json")
+    obs_export.add_argument("--validate", action="store_true",
+                            help="schema-check the exported document "
+                                 "(always performed; flag kept for scripts)")
+    _obs_dir_arg(obs_export)
+    obs_export.set_defaults(func=_cmd_obs)
+
+    obs_heartbeats = obs_sub.add_parser(
+        "heartbeats", help="show worker progress heartbeats")
+    obs_heartbeats.add_argument("--tail", type=int, default=20,
+                                help="show only the last N records")
+    _obs_dir_arg(obs_heartbeats)
+    obs_heartbeats.set_defaults(func=_cmd_obs)
+
+    obs_gc = obs_sub.add_parser(
+        "gc", help="delete obs artifacts (recordings, summaries, heartbeats)")
+    obs_gc.add_argument("--dry-run", action="store_true")
+    _obs_dir_arg(obs_gc)
+    obs_gc.set_defaults(func=_cmd_obs)
 
     synth = subparsers.add_parser(
         "synth", help="synthetic task-graph families and stress campaigns")

@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.common.config import TaskGeneratorConfig
+from repro.obs.events import EV_TASK_CREATED
 from repro.sim.engine import Engine
-from repro.sim.module import SimModule
+from repro.sim.module import SimModule, obs_noop
 from repro.sim.stats import StatsCollector
 from repro.trace.records import TaskTrace
 
@@ -42,6 +43,16 @@ class TaskGeneratingThread(SimModule):
         self._stat_tasks_submitted = self._stats.counter_handle(
             "generator.tasks_submitted")
         self._stat_stalls = self._stats.counter_handle("generator.stalls")
+
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        observer = self._observer
+        if observer is not None:
+            self._obs_task = observer.task_handle(self.name)
+            self._obs_gen_stall = observer.stall_handle(self.name)
+        else:
+            self._obs_task = obs_noop
+            self._obs_gen_stall = obs_noop
 
     # -- Introspection ---------------------------------------------------------------
 
@@ -80,12 +91,15 @@ class TaskGeneratingThread(SimModule):
             if self._stall_started is not None:
                 self.stall_cycles += self.now - self._stall_started
                 self._stall_started = None
+                self._obs_gen_stall(self.now, 0)
             self._next_index += 1
             self._stat_tasks_submitted.value += 1
+            self._obs_task(EV_TASK_CREATED, self.now, record.sequence)
             self._generate_next()
             return
         # Gateway buffer full: stall until it drains.
         if self._stall_started is None:
             self._stall_started = self.now
             self._stat_stalls.value += 1
+            self._obs_gen_stall(self.now, 1)
         self.frontend.notify_when_space(self._try_submit)

@@ -24,6 +24,11 @@ from repro.common.config import FrontendConfig
 from repro.common.errors import CapacityError, ProtocolError
 from repro.common.hashing import bucket_for
 from repro.common.ids import TaskID
+from repro.obs.events import (
+    EV_TASK_ADMITTED,
+    EV_TASK_ALLOCATED,
+    EV_TASK_WINDOW_WAIT,
+)
 from repro.frontend.messages import (
     AllocReply,
     AllocRequest,
@@ -32,7 +37,7 @@ from repro.frontend.messages import (
     TrsSpaceAvailable,
 )
 from repro.sim.engine import Engine
-from repro.sim.module import PacketProcessor
+from repro.sim.module import PacketProcessor, obs_noop
 from repro.sim.stats import StatsCollector
 from repro.trace.records import TaskRecord
 
@@ -77,6 +82,16 @@ class PipelineGateway(PacketProcessor):
         self._stat_alloc_retries = stats.counter_handle("gateway.alloc_retries")
         self._stat_tasks_issued = stats.counter_handle("gateway.tasks_issued")
 
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        observer = self._observer
+        if observer is not None:
+            self._obs_task = observer.task_handle(self.name)
+            self._obs_stall_source = observer.stall_source_handle(self.name)
+        else:
+            self._obs_task = obs_noop
+            self._obs_stall_source = obs_noop
+
     # -- Assembly -----------------------------------------------------------------
 
     def attach(self, trs_list: List, orts: List) -> None:
@@ -111,6 +126,7 @@ class PipelineGateway(PacketProcessor):
         self._buffer[slot] = pending
         self._tasks_admitted += 1
         self._stat_tasks_admitted.value += 1
+        self._obs_task(EV_TASK_ADMITTED, self.now, record.sequence)
         self.receive(("arrival", slot))
         return True
 
@@ -124,11 +140,15 @@ class PipelineGateway(PacketProcessor):
         """Stall the gateway on behalf of ``source`` (an ORT/OVT identifier)."""
         if not self._stall_sources:
             self.stall()
-        self._stall_sources.add(source)
+        if source not in self._stall_sources:
+            self._stall_sources.add(source)
+            self._obs_stall_source(self.now, source, 1)
 
     def remove_stall(self, source: str) -> None:
         """Remove ``source``'s stall; resume when no stall sources remain."""
-        self._stall_sources.discard(source)
+        if source in self._stall_sources:
+            self._stall_sources.discard(source)
+            self._obs_stall_source(self.now, source, 0)
         if not self._stall_sources:
             self.unstall()
 
@@ -169,6 +189,10 @@ class PipelineGateway(PacketProcessor):
             # creation order rather than letting a newcomer race past them.
             bisect.insort(self._waiting_for_space, buffer_slot)
             self._stat_window_full_waits.value += 1
+            pending = self._buffer.get(buffer_slot)
+            if pending is not None:
+                self._obs_task(EV_TASK_WINDOW_WAIT, self.now,
+                               pending.record.sequence)
             return
         self._request_allocation(buffer_slot)
 
@@ -184,6 +208,8 @@ class PipelineGateway(PacketProcessor):
             # older tasks are always admitted to the window first.
             bisect.insort(self._waiting_for_space, buffer_slot)
             self._stat_window_full_waits.value += 1
+            self._obs_task(EV_TASK_WINDOW_WAIT, self.now,
+                           pending.record.sequence)
             return
         request = AllocRequest(num_operands=pending.record.num_operands,
                                buffer_slot=buffer_slot)
@@ -214,6 +240,8 @@ class PipelineGateway(PacketProcessor):
             self._request_allocation(reply.buffer_slot)
             return
         self._issue_operands(pending, reply.task)
+        self._obs_task(EV_TASK_ALLOCATED, self.now, pending.record.sequence,
+                       (reply.task.trs << 32) | reply.task.slot)
         del self._buffer[reply.buffer_slot]
         self._tasks_issued += 1
         self._stat_tasks_issued.value += 1

@@ -67,6 +67,12 @@ class ObjectRenamingTable(PacketProcessor):
         self._stat_inout_decodes = stats.counter_handle(f"{name}.inout_decodes")
         self._stat_entries_released = stats.counter_handle(f"{name}.entries_released")
 
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        if self._observer is not None:
+            self._observer.add_probe(f"{self.name}.entries",
+                                     lambda: self.table.occupancy)
+
     # -- Assembly -----------------------------------------------------------------
 
     def attach(self, ovt, trs_list: List, gateway) -> None:

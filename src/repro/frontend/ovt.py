@@ -70,6 +70,12 @@ class ObjectVersioningTable(PacketProcessor):
         self._stat_versions_released = stats.counter_handle(
             f"{name}.versions_released")
 
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        if self._observer is not None:
+            self._observer.add_probe(f"{self.name}.versions",
+                                     lambda: self.table.live_versions)
+
     # -- Assembly -----------------------------------------------------------------
 
     def attach(self, ort, trs_list: List, gateway=None) -> None:

@@ -142,6 +142,23 @@ class TaskSuperscalarFrontend:
         return [self.gateway, *self.trs_list, *self.orts, *self.ovts,
                 self.ready_queue]
 
+    def bind_observer(self, observer) -> None:
+        """Attach an observer to every frontend module and register the
+        frontend-level occupancy probes (see :mod:`repro.obs`)."""
+        for module in self.modules():
+            module.bind_observer(observer)
+        if observer is not None:
+            # Prebind each TRS's (stable) task table: the probe is sampled
+            # every advance interval, and summing mapped lens is several
+            # times cheaper than the window_occupancy property chain.
+            tables = [trs._tasks for trs in self.trs_list]
+            observer.add_probe("frontend.window_tasks",
+                               lambda _tables=tables: sum(map(len, _tables)))
+            observer.add_probe("gateway.buffer",
+                               lambda: self.gateway.buffer_occupancy)
+            observer.add_probe("ready_queue.depth",
+                               lambda: len(self.ready_queue))
+
     def record_module_utilization(self, elapsed_cycles: int) -> None:
         """Record each module's ``busy_cycles / elapsed`` into stats.
 

@@ -45,8 +45,9 @@ from repro.frontend.messages import (
     VersionRelease,
 )
 from repro.frontend.storage import BlockStorage
+from repro.obs.events import EV_TASK_DECODED, EV_TASK_FREED, EV_TASK_READY
 from repro.sim.engine import Engine
-from repro.sim.module import PacketProcessor
+from repro.sim.module import PacketProcessor, obs_noop
 from repro.sim.stats import StatsCollector
 from repro.trace.records import Direction, TaskRecord
 
@@ -182,6 +183,16 @@ class TaskReservationStation(PacketProcessor):
         self._stat_tasks_ready = stats.counter_handle(f"{name}.tasks_ready")
         self._stat_tasks_finished = stats.counter_handle(f"{name}.tasks_finished")
         self._stat_chain_forwards = stats.histogram_handle("chain.forwards_per_task")
+
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        observer = self._observer
+        if observer is not None:
+            self._obs_task = observer.task_handle(self.name)
+            self._obs_dep = observer.dep_handle(self.name)
+        else:
+            self._obs_task = obs_noop
+            self._obs_dep = obs_noop
 
     # -- Assembly -----------------------------------------------------------------
 
@@ -375,6 +386,8 @@ class TaskReservationStation(PacketProcessor):
                   DataReady(operand=consumer, kind=ReadyKind.INPUT_DATA),
                   latency=self.config.message_latency_cycles)
         self._stat_ready_forwarded.value += 1
+        self._obs_dep(self.now, (consumer.trs << 32) | consumer.slot,
+                      (source.trs << 32) | source.slot)
 
     # -- Data-ready handling ----------------------------------------------------------------
 
@@ -422,11 +435,13 @@ class TaskReservationStation(PacketProcessor):
         if entry.decode_time is None and entry.undecoded_operands == 0:
             entry.decode_time = self.now
             self._stat_tasks_decoded.value += 1
+            self._obs_task(EV_TASK_DECODED, self.now, entry.record.sequence)
             if self.on_task_decoded is not None:
                 self.on_task_decoded(entry.task, entry.record, self.now)
         if entry.ready_time is None and entry.pending_operands == 0:
             entry.ready_time = self.now
             self._stat_tasks_ready.value += 1
+            self._obs_task(EV_TASK_READY, self.now, entry.record.sequence)
             self.send(self.ready_queue, TaskReady(task=entry.task, record=entry.record),
                       latency=self.config.message_latency_cycles)
 
@@ -461,6 +476,7 @@ class TaskReservationStation(PacketProcessor):
         self.storage.free(entry.main_block, entry.indirect_blocks)
         del self._tasks[packet.task.slot]
         self._stat_tasks_finished.value += 1
+        self._obs_task(EV_TASK_FREED, self.now, entry.record.sequence)
         if self._reported_full:
             # The gateway dropped this TRS from its free queue after a
             # rejected allocation; tell it storage is available again.

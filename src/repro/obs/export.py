@@ -1,0 +1,154 @@
+"""Chrome trace-event / Perfetto JSON export of a recording.
+
+:func:`to_trace_events` converts a :class:`repro.obs.observer.Recording`
+into the Chrome trace-event JSON-object format, which both
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* process 1 ("frontend") carries one thread (track) per instrumented
+  module, with "X" complete spans for packet services and module stalls;
+* process 2 ("cores") carries one thread per core, with one span per task
+  from dispatch to retire;
+* occupancy probes become "C" counter events on the frontend process.
+
+Timestamps: the trace-event format assumes microseconds, but the simulator
+is cycle-accurate with no wall-clock meaning, so spans carry the raw cycle
+count as ``ts``/``dur`` (1 "us" in the viewer = 1 simulated cycle).  This is
+noted in the exported metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import (
+    EV_MODULE_SERVICE,
+    EV_MODULE_STALL,
+    EV_OCCUPANCY,
+    EV_TASK_DISPATCHED,
+    EV_TASK_RETIRED,
+)
+from repro.obs.observer import Recording
+
+#: Process ids used in the exported trace.
+PID_FRONTEND = 1
+PID_CORES = 2
+
+#: Keys every exported event must carry, by phase type.
+_REQUIRED_KEYS = {
+    "M": ("name", "ph", "pid", "args"),
+    "X": ("name", "ph", "pid", "tid", "ts", "dur"),
+    "C": ("name", "ph", "pid", "ts", "args"),
+}
+
+
+def to_trace_events(recording: Recording) -> Dict[str, object]:
+    """Render a recording as a Chrome trace-event JSON document."""
+    names = recording.names
+    events: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": PID_FRONTEND,
+         "args": {"name": "frontend"}},
+        {"name": "process_name", "ph": "M", "pid": PID_CORES,
+         "args": {"name": "cores"}},
+    ]
+    seen_threads: Dict[int, set] = {PID_FRONTEND: set(), PID_CORES: set()}
+
+    def thread(pid: int, tid: int, label: str) -> None:
+        if tid not in seen_threads[pid]:
+            seen_threads[pid].add(tid)
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": label}})
+
+    open_stalls: Dict[int, int] = {}          # module id -> stall start
+    running: Dict[int, Dict[str, int]] = {}   # task seq -> span under way
+    end_time = 0
+
+    for time, kind, module, task, value in recording.events:
+        if time > end_time:
+            end_time = time
+        if kind == EV_MODULE_SERVICE:
+            thread(PID_FRONTEND, module, names[module])
+            events.append({"name": names[task], "ph": "X",
+                           "pid": PID_FRONTEND, "tid": module,
+                           "ts": time, "dur": value})
+        elif kind == EV_MODULE_STALL:
+            thread(PID_FRONTEND, module, names[module])
+            if value:
+                open_stalls.setdefault(module, time)
+            else:
+                start = open_stalls.pop(module, None)
+                if start is not None:
+                    events.append({"name": "stall", "ph": "X",
+                                   "pid": PID_FRONTEND, "tid": module,
+                                   "ts": start, "dur": time - start,
+                                   "cname": "terrible"})
+        elif kind == EV_TASK_DISPATCHED:
+            running[task] = {"start": time, "core": value}
+        elif kind == EV_TASK_RETIRED:
+            span = running.pop(task, None)
+            if span is not None:
+                core = span["core"]
+                thread(PID_CORES, core, f"core {core}")
+                events.append({"name": f"task {task}", "ph": "X",
+                               "pid": PID_CORES, "tid": core,
+                               "ts": span["start"],
+                               "dur": time - span["start"],
+                               "args": {"seq": task}})
+        elif kind == EV_OCCUPANCY:
+            events.append({"name": names[module], "ph": "C",
+                           "pid": PID_FRONTEND, "ts": time,
+                           "args": {"value": value}})
+
+    # Spans still open when the recording ended.
+    for module, start in open_stalls.items():
+        thread(PID_FRONTEND, module, names[module])
+        events.append({"name": "stall", "ph": "X", "pid": PID_FRONTEND,
+                       "tid": module, "ts": start, "dur": end_time - start,
+                       "cname": "terrible"})
+    for task, span in running.items():
+        core = span["core"]
+        thread(PID_CORES, core, f"core {core}")
+        events.append({"name": f"task {task}", "ph": "X", "pid": PID_CORES,
+                       "tid": core, "ts": span["start"],
+                       "dur": end_time - span["start"],
+                       "args": {"seq": task}})
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "clock": "simulation cycles (1 viewer us = 1 cycle)",
+            "dropped_events": recording.dropped,
+            **recording.meta,
+        },
+    }
+
+
+def validate_trace_events(document: Dict[str, object]) -> int:
+    """Check a trace-event document's schema; returns the event count.
+
+    Raises ``ValueError`` on the first malformed event.  Used by the CLI's
+    ``repro obs export --validate`` and the CI obs-smoke job.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document missing 'traceEvents' list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        required = _REQUIRED_KEYS.get(phase)
+        if required is None:
+            raise ValueError(
+                f"traceEvents[{index}] has unsupported phase {phase!r}")
+        for key in required:
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] ({phase!r}) missing key {key!r}")
+        if phase == "X":
+            if not (isinstance(event["ts"], int) and event["ts"] >= 0):
+                raise ValueError(f"traceEvents[{index}] has invalid ts")
+            if not (isinstance(event["dur"], int) and event["dur"] >= 0):
+                raise ValueError(f"traceEvents[{index}] has invalid dur")
+    return len(events)

@@ -1,0 +1,183 @@
+"""Telemetry summaries, the stall report renderer and worker heartbeats.
+
+Two kinds of artifact live here:
+
+* **Point summaries** -- :func:`point_summary` condenses a recording into a
+  small JSON document (stall attribution, critical path, module activity)
+  that sweep workers drop into ``<obs-dir>/points/<digest>.json`` so that
+  reports can cite *why* a point performed the way it did without shipping
+  the full event stream.  :func:`format_report` renders one as the text the
+  ``repro obs report`` CLI prints.
+
+* **Heartbeats** -- :class:`HeartbeatWriter` appends JSONL progress events
+  (worker start/progress/done) to ``<obs-dir>/heartbeats/<host>-<pid>.jsonl``.
+  Writes are line-buffered appends of wall-clock-stamped records; they never
+  touch simulator state, so heartbeat emission cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time as _walltime
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.common.fileio import atomic_write_text
+from repro.obs.observer import Recording
+from repro.obs.timeline import (
+    STALL_CATEGORIES,
+    build_timeline,
+    critical_path,
+    stall_attribution,
+)
+
+PathLike = Union[str, Path]
+
+#: Schema tag of a point summary document.
+POINT_SCHEMA = "repro.obs.point/1"
+
+
+def point_summary(recording: Recording,
+                  params: Optional[Dict[str, object]] = None,
+                  metrics: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Condense a recording into the JSON-serialisable telemetry summary."""
+    timeline = build_timeline(recording)
+    attribution = stall_attribution(timeline)
+    path = critical_path(timeline)
+    modules = {name: {"services": count, "busy_cycles": busy}
+               for name, (count, busy) in sorted(timeline.module_service.items())}
+    summary: Dict[str, object] = {
+        "schema": POINT_SCHEMA,
+        "events": len(recording.events),
+        "dropped": recording.dropped,
+        "tasks": len(timeline.tasks),
+        "end_time": timeline.end_time,
+        "stalls": attribution,
+        "critical_path": path,
+        "critical_path_length": len(path),
+        "modules": modules,
+    }
+    if params is not None:
+        summary["params"] = dict(params)
+    if metrics is not None:
+        summary["metrics"] = dict(metrics)
+    if recording.meta:
+        summary["meta"] = dict(recording.meta)
+    return summary
+
+
+def format_report(summary: Dict[str, object]) -> str:
+    """Render a point summary as the human-readable stall report."""
+    lines: List[str] = []
+    lines.append(f"tasks: {summary.get('tasks', 0)}   "
+                 f"events: {summary.get('events', 0)}   "
+                 f"dropped: {summary.get('dropped', 0)}   "
+                 f"end cycle: {summary.get('end_time', 0)}")
+    stalls = summary.get("stalls") or {}
+    totals = stalls.get("totals") or {}
+    fractions = stalls.get("fractions") or {}
+    lines.append("stall attribution (cycles per category, all tasks):")
+    for category in STALL_CATEGORIES:
+        cycles = totals.get(category, 0)
+        share = fractions.get(category, 0.0)
+        lines.append(f"  {category:<16} {cycles:>12}  ({share * 100:5.1f}%)")
+    skipped = stalls.get("tasks_skipped", 0)
+    if skipped:
+        lines.append(f"  ({skipped} tasks skipped: incomplete lifecycle, "
+                     f"ring wrapped)")
+    path = summary.get("critical_path") or []
+    lines.append(f"critical path: {len(path)} tasks"
+                 + (f" (seq {path[0]['seq']} -> {path[-1]['seq']})"
+                    if path else ""))
+    modules = summary.get("modules") or {}
+    if modules:
+        lines.append("module activity:")
+        for name, info in modules.items():
+            lines.append(f"  {name:<16} {info['services']:>9} services, "
+                         f"{info['busy_cycles']:>12} busy cycles")
+    return "\n".join(lines)
+
+
+def write_point_summary(root: PathLike, digest: str,
+                        summary: Dict[str, object]) -> Path:
+    """Write ``<root>/points/<digest>.json`` atomically."""
+    path = Path(root) / "points" / f"{digest}.json"
+    atomic_write_text(path, json.dumps(summary, sort_keys=True, indent=2))
+    return path
+
+
+def load_point_summaries(root: PathLike) -> Dict[str, Dict[str, object]]:
+    """Load every point summary under ``<root>/points`` (digest -> summary)."""
+    directory = Path(root) / "points"
+    summaries: Dict[str, Dict[str, object]] = {}
+    if not directory.is_dir():
+        return summaries
+    for path in sorted(directory.glob("*.json")):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(document, dict) and document.get("schema") == POINT_SCHEMA:
+            summaries[path.stem] = document
+    return summaries
+
+
+class HeartbeatWriter:
+    """Appends worker progress events to a per-process heartbeat JSONL file.
+
+    One writer per worker process; the file name embeds hostname and pid so
+    parallel workers never contend.  Each record is one JSON line with at
+    least ``time`` (wall clock), ``event`` and ``pid``.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.pid = os.getpid()
+        host = socket.gethostname().split(".")[0] or "host"
+        self.path = self.root / "heartbeats" / f"{host}-{self.pid}.jsonl"
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one heartbeat record (failures are swallowed: telemetry
+        must never take a worker down)."""
+        record = {"time": _walltime.time(), "event": event, "pid": self.pid}
+        record.update(fields)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def progress_hook(self, digest: str):
+        """An ``Observer.heartbeat`` callback reporting simulation progress."""
+        def heartbeat(cycle: int, tasks_retired: int) -> None:
+            self.emit("progress", point=digest, cycle=cycle,
+                      tasks_retired=tasks_retired)
+        return heartbeat
+
+
+def read_heartbeats(root: PathLike) -> List[Dict[str, object]]:
+    """Read every heartbeat record under ``<root>/heartbeats``, time-sorted."""
+    directory = Path(root) / "heartbeats"
+    records: List[Dict[str, object]] = []
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    records.sort(key=lambda record: record.get("time", 0))
+    return records

@@ -108,6 +108,22 @@ class Engine:
         self._events_processed: int = 0
         self.max_events = max_events
         self.max_time = max_time
+        #: Optional read-only clock hook ``on_advance(new_time) -> wake``,
+        #: invoked just before the clock moves forward to a strictly later
+        #: cycle -- but only once ``new_time`` has reached the *wake* cycle
+        #: the previous invocation returned (first invocation fires on the
+        #: first advance).  The returned wake cycle must be strictly greater
+        #: than ``new_time`` (values at or below it are clamped to
+        #: ``new_time + 1``), which maintains the invariant ``wake > now``
+        #: and lets :meth:`run` test for the next firing with a single
+        #: integer compare per event.  Bind the hook before calling
+        #: :meth:`run`; rebinding from inside a callback is not supported
+        #: (the run loop latches it at entry).  The observability layer
+        #: samples occupancies here; the hook must never schedule events
+        #: (that would shift sequence numbers and break deterministic
+        #: replay).
+        self.on_advance: Optional[Callable[[int], int]] = None
+        self._advance_wake: int = 0
 
     # -- Clock ---------------------------------------------------------------
 
@@ -225,6 +241,14 @@ class Engine:
             self._pop(from_ready)
             if event.cancelled:
                 continue
+            advance = self.on_advance
+            # Wake test first: it is a plain int compare and false for
+            # nearly every event between samples.  The clamp keeps the
+            # ``wake > now`` invariant :meth:`run` relies on.
+            if (advance is not None and event.time >= self._advance_wake
+                    and event.time > self._now):
+                wake = advance(event.time)
+                self._advance_wake = wake if wake > event.time else event.time + 1
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
@@ -256,6 +280,14 @@ class Engine:
         free_max = self._FREE_LIST_MAX
         max_events = self.max_events
         max_time = self.max_time
+        advance = self.on_advance
+        advance_wake = self._advance_wake
+        if advance is not None and advance_wake <= self._now:
+            # Establish the loop invariant ``wake > now``: with it (and the
+            # clamp at the fire site below), ``event.time >= wake`` alone
+            # implies a strictly later cycle, so the hot loop needs only one
+            # integer compare per event to skip the hook.
+            advance_wake = self._advance_wake = self._now + 1
         bounded = not (max_events is None and max_time is None and until is None)
         while True:
             pos = self._ready_pos
@@ -294,6 +326,14 @@ class Engine:
                 heappop(heap)
             if event.cancelled:
                 continue
+            # ``wake > now`` holds throughout (established above, preserved
+            # by the clamp), so this single compare also certifies a strict
+            # clock advance.
+            if advance is not None and event.time >= advance_wake:
+                wake = advance(event.time)
+                if wake <= event.time:
+                    wake = event.time + 1
+                advance_wake = self._advance_wake = wake
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)

@@ -30,6 +30,15 @@ from repro.sim.engine import Engine
 from repro.sim.stats import StatsCollector
 
 
+def obs_noop(*_args) -> None:
+    """Shared no-op observability handle (bound when no observer is attached).
+
+    Accepting any positional arguments lets every obs emission site call its
+    handle unconditionally; with no observer the whole cost of the
+    instrumentation is this empty call on a handful of per-task paths.
+    """
+
+
 class SimModule:
     """A named simulation component."""
 
@@ -38,7 +47,9 @@ class SimModule:
         self.engine = engine
         self.name = name
         self._stats = stats if stats is not None else StatsCollector()
+        self._observer = None
         self._bind_stat_handles()
+        self._bind_obs_handles()
 
     @property
     def stats(self) -> StatsCollector:
@@ -50,6 +61,16 @@ class SimModule:
         self._stats = collector
         self._bind_stat_handles()
 
+    @property
+    def observer(self):
+        """The attached :class:`repro.obs.Observer`, or None."""
+        return self._observer
+
+    def bind_observer(self, observer) -> None:
+        """Attach an observer (or None to detach) and re-resolve handles."""
+        self._observer = observer
+        self._bind_obs_handles()
+
     def _bind_stat_handles(self) -> None:
         """Resolve this module's per-packet metric handles.
 
@@ -57,6 +78,16 @@ class SimModule:
         reassigned.  Subclasses recording per-packet statistics override this
         (calling ``super()._bind_stat_handles()``) and bind their handles
         here instead of formatting stat keys in the hot path.
+        """
+
+    def _bind_obs_handles(self) -> None:
+        """Resolve this module's observability handles (same pattern as
+        :meth:`_bind_stat_handles`).
+
+        Called at construction (observer is None: every handle must resolve
+        to :func:`obs_noop`) and again from :meth:`bind_observer`.
+        Subclasses with instrumentation points override this, calling
+        ``super()._bind_obs_handles()``.
         """
 
     @property
@@ -117,6 +148,16 @@ class PacketProcessor(SimModule):
         self._stat_packets_processed = stats.counter_handle(f"{name}.packets_processed")
         self._stat_stalls = stats.counter_handle(f"{name}.stalls")
 
+    def _bind_obs_handles(self) -> None:
+        super()._bind_obs_handles()
+        observer = self._observer
+        if observer is not None and observer.config.module_spans:
+            self._obs_service = observer.service_handle(self.name)
+        else:
+            self._obs_service = obs_noop
+        self._obs_stall = (observer.stall_handle(self.name)
+                           if observer is not None else obs_noop)
+
     # -- Public interface ---------------------------------------------------
 
     def receive(self, packet: Any) -> None:
@@ -157,11 +198,13 @@ class PacketProcessor(SimModule):
             return
         self._stalled = True
         self._stat_stalls.value += 1
+        self._obs_stall(self.engine.now, 1)
 
     def unstall(self) -> None:
         """Resume servicing packets."""
         if self._stalled:
             self._stalled = False
+            self._obs_stall(self.engine.now, 0)
             self._try_start()
 
     def utilization(self, elapsed_cycles: int) -> float:
@@ -218,6 +261,7 @@ class PacketProcessor(SimModule):
         duration = self.service_time(packet)
         if duration < 0:
             raise ValueError(f"{self.name}: negative service time {duration}")
+        self._obs_service(self._busy_since, packet, duration)
         self.engine.schedule_unref(duration, self._finish, packet, duration)
 
     def _finish(self, packet: Any, duration: int) -> None:

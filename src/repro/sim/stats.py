@@ -146,27 +146,67 @@ class Histogram:
         return self.items()[-1][0]
 
 
+#: Default per-series sample cap (see :class:`Sampler`).
+DEFAULT_SAMPLE_CAP = 65536
+
+
 class Sampler:
-    """Pre-bound handle for one time-series sample list."""
+    """Pre-bound handle for one time-series sample list, with capped memory.
 
-    __slots__ = ("entries",)
+    Long runs used to grow sample lists without bound; a sampler now holds at
+    most ``cap`` entries.  When the cap is reached the series is *decimated*
+    in place -- every second entry removed -- and the sampling stride doubles,
+    so the retained series always spans the whole run at progressively coarser
+    (but uniform) time resolution.  :attr:`dropped` counts the samples that
+    were offered but are no longer retained; ``summary()`` surfaces it as
+    ``<name>.samples_dropped``.
 
-    def __init__(self, entries: List[Tuple[int, float]]) -> None:
+    Handles are shared per series name (see
+    :meth:`StatsCollector.sampler_handle`), so the stride/drop bookkeeping
+    stays consistent however many call sites record into one series.
+    Decimation mutates the entry list in place, preserving its identity --
+    ``stats.samples[name]`` views stay valid.
+    """
+
+    __slots__ = ("entries", "cap", "stride", "dropped", "_skip")
+
+    def __init__(self, entries: List[Tuple[int, float]],
+                 cap: int = DEFAULT_SAMPLE_CAP) -> None:
+        if cap < 2:
+            raise ValueError(f"sample cap must be at least 2, got {cap}")
         self.entries = entries
+        self.cap = cap
+        self.stride = 1
+        self.dropped = 0
+        self._skip = 0
 
     def add(self, time: int, value: float) -> None:
-        """Record a time-stamped sample."""
-        self.entries.append((time, value))
+        """Record a time-stamped sample (subject to the decimation stride)."""
+        if self._skip:
+            self._skip -= 1
+            self.dropped += 1
+            return
+        entries = self.entries
+        entries.append((time, value))
+        self._skip = self.stride - 1
+        if len(entries) >= self.cap:
+            removed = len(entries) // 2
+            del entries[1::2]
+            self.dropped += removed
+            self.stride *= 2
 
 
 class StatsCollector:
     """Shared statistics registry for a simulation run."""
 
-    def __init__(self) -> None:
+    def __init__(self, sample_cap: int = DEFAULT_SAMPLE_CAP) -> None:
         self._counters: Dict[str, Counter] = defaultdict(Counter)
         self.accumulators: Dict[str, Accumulator] = defaultdict(Accumulator)
         self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
         self.samples: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
+        #: Per-series memory cap applied by :class:`Sampler` (see there).
+        self.sample_cap = sample_cap
+        self._samplers: Dict[str, Sampler] = {}
 
     # -- Pre-bound handles (hot-path interface) -----------------------------
 
@@ -183,8 +223,16 @@ class StatsCollector:
         return self.histograms[name]
 
     def sampler_handle(self, name: str) -> Sampler:
-        """A :class:`Sampler` appending to ``name``'s sample list."""
-        return Sampler(self.samples[name])
+        """The shared :class:`Sampler` for ``name``'s sample list.
+
+        One sampler per name (created on first request), so every call site
+        sees the same decimation stride and drop count.
+        """
+        sampler = self._samplers.get(name)
+        if sampler is None:
+            sampler = Sampler(self.samples[name], cap=self.sample_cap)
+            self._samplers[name] = sampler
+        return sampler
 
     # -- String-keyed interface ---------------------------------------------
 
@@ -210,8 +258,12 @@ class StatsCollector:
         self.histograms[name].add(value, weight)
 
     def sample(self, name: str, time: int, value: float) -> None:
-        """Record a time-stamped sample for time-series analysis."""
-        self.samples[name].append((time, value))
+        """Record a time-stamped sample for time-series analysis.
+
+        Routed through the series' shared :class:`Sampler`, so the memory
+        cap applies to string-keyed recording too.
+        """
+        self.sampler_handle(name).add(time, value)
 
     def counter(self, name: str) -> int:
         """Return the value of counter ``name`` (0 if never incremented)."""
@@ -230,16 +282,19 @@ class StatsCollector:
 
         Counters appear under their own name; accumulators contribute
         ``<name>.mean`` / ``<name>.max``; histograms contribute
-        ``<name>.count`` / ``<name>.mean`` / ``<name>.max`` / ``<name>.p95``
+        ``<name>.count`` / ``<name>.mean`` / ``<name>.max`` and the
+        percentiles ``<name>.p50`` / ``<name>.p95`` / ``<name>.p99``
         (so reports can quote chain-length percentiles without reaching into
-        internals); each time series contributes its sample count as
-        ``<name>.samples``.
+        internals); each time series contributes its retained sample count as
+        ``<name>.samples`` plus ``<name>.samples_dropped`` -- the samples the
+        decimating :class:`Sampler` recorded but no longer retains (0 unless
+        the series hit its memory cap).
 
         Collision rule (asserted by the test suite): when one name is used
         as both an accumulator and a histogram, the *accumulator* owns the
         shared ``<name>.mean`` and ``<name>.max`` keys -- histogram entries
         are written with ``setdefault`` and never overwrite them -- while
-        ``<name>.count`` and ``<name>.p95`` always report the histogram
+        ``<name>.count`` and the percentile keys always report the histogram
         (accumulators never emit those suffixes).  Give the two metrics
         distinct names if both means must be visible.
         """
@@ -254,8 +309,13 @@ class StatsCollector:
             result.setdefault(f"{name}.mean", hist.mean())
             result.setdefault(f"{name}.max",
                               float(hist.max()) if hist.count else 0.0)
-            result[f"{name}.p95"] = (float(hist.percentile(0.95))
-                                     if hist.count else 0.0)
+            for suffix, fraction in (("p50", 0.50), ("p95", 0.95),
+                                     ("p99", 0.99)):
+                result[f"{name}.{suffix}"] = (float(hist.percentile(fraction))
+                                              if hist.count else 0.0)
         for name, entries in sorted(self.samples.items()):
             result[f"{name}.samples"] = float(len(entries))
+            sampler = self._samplers.get(name)
+            result[f"{name}.samples_dropped"] = float(
+                sampler.dropped if sampler is not None else 0)
         return result

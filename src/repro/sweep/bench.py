@@ -34,7 +34,7 @@ import os
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.backend.system import TaskSuperscalarSystem
 from repro.common.errors import ReproError
@@ -138,7 +138,7 @@ def _generate_trace(params: Dict[str, object]):
 
 
 def run_scenario(scenario: BenchScenario, quick: bool = False,
-                 repeat: int = 1) -> Dict[str, object]:
+                 repeat: int = 1, obs: bool = False) -> Dict[str, object]:
     """Time one scenario and return its report entry.
 
     The trace is generated outside the simulation timing (trace generation is
@@ -148,6 +148,13 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
     ``wall_seconds``).  Each repeat builds a fresh system so runs are
     independent, and the fastest wall time is reported (the standard
     benchmarking defence against host noise).
+
+    With ``obs=True`` every repeat attaches a fresh
+    :class:`repro.obs.Observer`, so the timing measures the instrumented
+    hot path.  The recording itself is discarded -- the point is the
+    overhead, which CI gates by comparing an obs-on report against an
+    obs-off one (observers never change results, so ``metrics`` still
+    match between the two).
     """
     if repeat < 1:
         raise BenchError(f"repeat must be >= 1, got {repeat}")
@@ -160,13 +167,26 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
     result = None
     events = 0
     for _ in range(repeat):
-        system = TaskSuperscalarSystem(config)
+        observer = None
+        if obs:
+            from repro.obs import ObsConfig, Observer
+
+            observer = Observer(ObsConfig())
+        system = TaskSuperscalarSystem(config, observer=observer)
         start = time.perf_counter()
         result = system.run(trace)
         wall = time.perf_counter() - start
         events = system.engine.events_processed
         if best_wall is None or wall < best_wall:
             best_wall = wall
+    return _scenario_entry(scenario, params, trace_seconds, best_wall,
+                           result, events)
+
+
+def _scenario_entry(scenario: BenchScenario, params: Dict[str, object],
+                    trace_seconds: float, best_wall: float, result,
+                    events: int) -> Dict[str, object]:
+    """Assemble one report entry from a scenario's timing and result."""
     wall = max(best_wall, 1e-9)
     return {
         "name": scenario.name,
@@ -188,11 +208,128 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
     }
 
 
+def run_scenario_pair(scenario: BenchScenario, quick: bool = False,
+                      repeat: int = 1) -> Tuple[Dict[str, object],
+                                                Dict[str, object]]:
+    """Time one scenario obs-off and obs-on in strict alternation.
+
+    Comparing two independently timed suite runs confounds telemetry
+    overhead with host drift (frequency scaling and co-tenant load easily
+    move wall time by more than the overhead under test).  This variant
+    interleaves the two configurations run-by-run inside one process --
+    every obs-on run executes adjacent to an obs-off run of the same
+    scenario -- so each round yields an on/off wall ratio in which host
+    drift cancels.  The **median of those per-round ratios** is the
+    overhead statistic (stored as ``timing.overhead_ratio`` on the obs-on
+    entry, where :func:`compare_reports` picks it up): a ratio of two
+    best-of-N minima is itself an order statistic of the noise floor and
+    flaps around a few-percent threshold, while the median ratio discards
+    outlier rounds entirely.  Each side still reports its best wall time
+    as the throughput number.  Each timed region runs with the cyclic
+    garbage collector paused after a collect (the standard ``timeit``
+    hygiene): whether a collection lands inside a run is allocator
+    scheduling, not the cost under test, and one stray collection
+    otherwise skews a ratio of two ~50ms measurements.
+    Returns the ``(obs_off_entry, obs_on_entry)`` report entries.
+    """
+    if repeat < 1:
+        raise BenchError(f"repeat must be >= 1, got {repeat}")
+    import gc
+    import statistics
+
+    from repro.obs import ObsConfig, Observer
+
+    params = scenario.effective_params(quick)
+    config = build_point_config(params)
+    trace_start = time.perf_counter()
+    trace = _generate_trace(params)
+    trace_seconds = time.perf_counter() - trace_start
+    walls: Dict[bool, List[float]] = {False: [], True: []}
+    result: Dict[bool, object] = {False: None, True: None}
+    events: Dict[bool, int] = {False: 0, True: 0}
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeat):
+            for with_obs in (False, True):
+                observer = Observer(ObsConfig()) if with_obs else None
+                system = TaskSuperscalarSystem(config, observer=observer)
+                gc.collect()
+                gc.disable()
+                start = time.perf_counter()
+                result[with_obs] = system.run(trace)
+                wall = time.perf_counter() - start
+                if gc_was_enabled:
+                    gc.enable()
+                events[with_obs] = system.engine.events_processed
+                walls[with_obs].append(wall)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    entry_off, entry_on = (
+        _scenario_entry(scenario, params, trace_seconds,
+                        min(walls[with_obs]), result[with_obs],
+                        events[with_obs])
+        for with_obs in (False, True))
+    entry_on["timing"]["overhead_ratio"] = statistics.median(
+        on / max(off, 1e-9)
+        for off, on in zip(walls[False], walls[True]))
+    return entry_off, entry_on
+
+
 def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
               only: Optional[Sequence[str]] = None,
               scenarios: Optional[Sequence[BenchScenario]] = None,
-              progress=None) -> Dict[str, object]:
-    """Run the (possibly filtered) suite and return the report document."""
+              progress=None, obs: bool = False) -> Dict[str, object]:
+    """Run the (possibly filtered) suite and return the report document.
+
+    ``obs=True`` runs every scenario with a telemetry observer attached
+    (see :func:`run_scenario`); the flag is recorded at the report top
+    level only, never inside per-scenario ``params``/``metrics``, so an
+    obs-on report stays metric-comparable with an obs-off baseline.
+    """
+    pool = _select_scenarios(scenarios, only)
+    entries = []
+    for scenario in pool:
+        entry = run_scenario(scenario, quick=quick, repeat=repeat, obs=obs)
+        entries.append(entry)
+        if progress is not None:
+            progress(entry)
+    return _assemble_report(entries, label=label, quick=quick, repeat=repeat,
+                            obs=obs)
+
+
+def run_suite_pair(quick: bool = False, repeat: int = 1,
+                   label_off: str = "obs-off", label_on: str = "obs-on",
+                   only: Optional[Sequence[str]] = None,
+                   scenarios: Optional[Sequence[BenchScenario]] = None,
+                   progress=None) -> Tuple[Dict[str, object],
+                                           Dict[str, object]]:
+    """Run the suite with paired obs-off/obs-on timing (overhead gating).
+
+    Every scenario goes through :func:`run_scenario_pair`, so the two
+    returned reports come from run-by-run interleaved measurements in one
+    process -- the configuration :mod:`compare_reports` needs to attribute a
+    throughput ratio to telemetry overhead rather than host drift.
+    """
+    pool = _select_scenarios(scenarios, only)
+    off_entries = []
+    on_entries = []
+    for scenario in pool:
+        entry_off, entry_on = run_scenario_pair(scenario, quick=quick,
+                                                repeat=repeat)
+        off_entries.append(entry_off)
+        on_entries.append(entry_on)
+        if progress is not None:
+            progress(entry_off, entry_on)
+    return (_assemble_report(off_entries, label=label_off, quick=quick,
+                             repeat=repeat, obs=False),
+            _assemble_report(on_entries, label=label_on, quick=quick,
+                             repeat=repeat, obs=True))
+
+
+def _select_scenarios(scenarios: Optional[Sequence[BenchScenario]],
+                      only: Optional[Sequence[str]]) -> List[BenchScenario]:
+    """The suite (or ``scenarios``) filtered down to the ``only`` names."""
     pool = list(scenarios) if scenarios is not None else list(SUITE)
     if only:
         wanted = {name.lower() for name in only}
@@ -203,12 +340,12 @@ def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
                 f"unknown scenario(s) {', '.join(unknown)}; "
                 f"known: {', '.join(sorted(known))}")
         pool = [scenario for scenario in pool if scenario.name.lower() in wanted]
-    entries = []
-    for scenario in pool:
-        entry = run_scenario(scenario, quick=quick, repeat=repeat)
-        entries.append(entry)
-        if progress is not None:
-            progress(entry)
+    return pool
+
+
+def _assemble_report(entries: List[Dict[str, object]], label: str,
+                     quick: bool, repeat: int, obs: bool) -> Dict[str, object]:
+    """Wrap per-scenario entries into a schema-complete report document."""
     total_wall = sum(entry["timing"]["wall_seconds"] for entry in entries)
     total_trace = sum(entry["timing"].get("trace_seconds", 0.0)
                       for entry in entries)
@@ -219,6 +356,7 @@ def run_suite(quick: bool = False, repeat: int = 1, label: str = "local",
         "label": label,
         "quick": bool(quick),
         "repeat": int(repeat),
+        "obs": bool(obs),
         "scenarios": entries,
         "totals": {
             "events": total_events,
@@ -414,10 +552,22 @@ class ScenarioDelta:
     old_events_per_sec: float
     new_events_per_sec: float
     metrics_match: bool
+    #: Paired on/off wall ratio when the new report came from an interleaved
+    #: run (``bench obs-overhead``); None for independently timed reports.
+    paired_overhead: Optional[float] = None
 
     @property
     def ratio(self) -> float:
-        """new/old events-per-second (>1 means the new run is faster)."""
+        """new/old speed ratio (>1 means the new run is faster).
+
+        Independently timed reports compare events-per-second.  When the
+        new entry carries a paired ``timing.overhead_ratio`` (see
+        :func:`run_scenario_pair`), its inverse is used instead: the
+        paired median cancels host drift between the two reports, which
+        the throughput quotient cannot.
+        """
+        if self.paired_overhead is not None and self.paired_overhead > 0:
+            return 1.0 / self.paired_overhead
         if self.old_events_per_sec <= 0:
             return 0.0
         return self.new_events_per_sec / self.old_events_per_sec
@@ -430,6 +580,13 @@ class Comparison:
     deltas: List[ScenarioDelta]
     missing: List[str]
     tolerance: float
+    #: Gate on the suite geomean instead of per-scenario ratios.  The
+    #: per-scenario gate is the right tool for tracking code-version
+    #: regressions (one scenario tanking is the signal); an aggregate
+    #: budget -- e.g. "telemetry costs at most 5% across the suite" -- is a
+    #: suite-level property, and the geomean averages per-scenario timer
+    #: noise down by roughly the square root of the scenario count.
+    aggregate: bool = False
 
     @property
     def overall_ratio(self) -> float:
@@ -460,7 +617,14 @@ class Comparison:
 
     @property
     def ok(self) -> bool:
-        """True when no scenario regressed beyond the tolerance."""
+        """True when the gated statistic stays within the tolerance.
+
+        Per-scenario mode requires every scenario to stay within
+        ``1 - tolerance``; aggregate mode applies the same bound to the
+        suite geomean only.
+        """
+        if self.aggregate:
+            return self.overall_ratio >= 1.0 - self.tolerance
         return not self.regressions
 
     def format(self) -> str:
@@ -478,13 +642,18 @@ class Comparison:
                          f"{delta.ratio:>6.2f}x{flag}")
         for name in self.missing:
             lines.append(f"{name:18s} (present in only one report)")
+        gate = "geomean gated" if self.aggregate else "per-scenario gate"
         lines.append(f"overall: {self.overall_ratio:.2f}x "
-                     f"(geomean, tolerance {self.tolerance:.0%})")
+                     f"(geomean, tolerance {self.tolerance:.0%}, {gate})")
+        if any(delta.paired_overhead is not None for delta in self.deltas):
+            lines.append("ratios use paired interleaved timing "
+                         "(median per-round overhead)")
         return "\n".join(lines)
 
 
 def compare_reports(old: Dict[str, object], new: Dict[str, object],
-                    tolerance: float = 0.05) -> Comparison:
+                    tolerance: float = 0.05,
+                    aggregate: bool = False) -> Comparison:
     """Diff two bench reports scenario-by-scenario.
 
     Args:
@@ -493,6 +662,9 @@ def compare_reports(old: Dict[str, object], new: Dict[str, object],
         tolerance: Allowed fractional slowdown before a scenario counts as a
             regression (timer noise on shared CI machines easily reaches a few
             percent).
+        aggregate: Gate :attr:`Comparison.ok` on the suite geomean instead of
+            requiring every scenario to clear the tolerance (the right mode
+            for budget-style checks such as the telemetry-overhead gate).
     """
     if not 0.0 <= tolerance < 1.0:
         raise BenchError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -504,15 +676,18 @@ def compare_reports(old: Dict[str, object], new: Dict[str, object],
     deltas = []
     for name in shared:
         old_entry, new_entry = old_entries[name], new_entries[name]
+        overhead = new_entry["timing"].get("overhead_ratio")
         deltas.append(ScenarioDelta(
             name=name,
             old_events_per_sec=float(old_entry["timing"]["events_per_sec"]),
             new_events_per_sec=float(new_entry["timing"]["events_per_sec"]),
             metrics_match=(old_entry.get("metrics") == new_entry.get("metrics")
                            and old_entry.get("params") == new_entry.get("params")),
+            paired_overhead=float(overhead) if overhead else None,
         ))
     missing = sorted(set(old_entries) ^ set(new_entries))
-    return Comparison(deltas=deltas, missing=missing, tolerance=tolerance)
+    return Comparison(deltas=deltas, missing=missing, tolerance=tolerance,
+                      aggregate=aggregate)
 
 
 def format_report(report: Dict[str, object]) -> str:

@@ -33,7 +33,9 @@ from repro.sweep.spec import SweepPoint
 #: misses so stale artifacts never poison newer code.  2: results carry
 #: ``<hist>.max`` stats keys (histograms gained a ``.max`` summary entry),
 #: so schema-1 entries would serve an inconsistent stats contract.
-SCHEMA_VERSION = 2
+#: 3: histograms additionally report ``.p50``/``.p99`` and samplers report
+#: ``.samples_dropped``, so schema-2 entries would lack those keys.
+SCHEMA_VERSION = 3
 
 #: Default artifacts directory (relative to the working directory).
 DEFAULT_CACHE_ROOT = Path(".repro-artifacts") / "sweeps"

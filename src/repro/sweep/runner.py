@@ -51,6 +51,37 @@ DEFAULT_TRACE_CACHE_SIZE = 32
 #: explicitly; the pool initializer uses this as its hand-off).
 TRACE_STORE_ENV = "REPRO_TRACE_STORE"
 
+#: Environment variable naming an observability directory (the fallback for
+#: standalone :func:`execute_point` callers; the CLI and pool initializer
+#: configure observability explicitly).
+OBS_ENV = "REPRO_OBS_DIR"
+
+
+@dataclass(frozen=True)
+class ObsSettings:
+    """Per-process observability configuration for sweep execution.
+
+    Plain data (it crosses the pool boundary in the worker initializer).
+    When active, :func:`execute_point` attaches a
+    :class:`repro.obs.Observer` to each hardware simulation, writes a
+    per-point telemetry summary to ``<root>/points/<digest>.json``, streams
+    heartbeat progress events to ``<root>/heartbeats/`` and -- when
+    ``keep_recordings`` is set -- saves the full event recording to
+    ``<root>/recordings/<digest>.robs``.
+    """
+
+    root: str
+    capacity: int = 1 << 20
+    #: Mirrors :data:`repro.obs.observer.DEFAULT_SAMPLE_INTERVAL` (kept as a
+    #: literal so this dataclass stays import-light for pool workers).
+    sample_interval: int = 1024
+    #: Per-packet service spans are the densest event class; sweeps leave
+    #: them off (lifecycle/stall/occupancy cover the reports) so fleet-wide
+    #: telemetry stays within the bench overhead budget.
+    module_spans: bool = False
+    keep_recordings: bool = False
+    heartbeat_seconds: float = 5.0
+
 
 def build_point_config(params: Dict[str, ParamValue]):
     """Build the :class:`SimulationConfig` for one point's parameters."""
@@ -126,6 +157,9 @@ _TRACE_STORE_DISABLED = False
 #: the env fallback mutating the explicitly-configured store.
 _ENV_STORES: Dict[str, TraceStore] = {}
 
+_OBS_SETTINGS: Optional[ObsSettings] = None
+_OBS_DISABLED = False
+
 
 def trace_cache_size() -> int:
     """Capacity of the per-process trace memo (``REPRO_TRACE_CACHE_SIZE``)."""
@@ -183,6 +217,38 @@ def active_trace_store() -> Optional[TraceStore]:
     if store is None:
         store = _ENV_STORES[root] = TraceStore(root)
     return store
+
+
+def configure_observability(settings: Union[ObsSettings, str, None, bool],
+                            ) -> Union[ObsSettings, None, bool]:
+    """Set this process's sweep observability (mirrors the trace-store API).
+
+    ``None`` clears it (the ``REPRO_OBS_DIR`` environment variable may then
+    provide one); ``False`` disables it outright, env var included; a string
+    is shorthand for ``ObsSettings(root=...)`` with defaults.  Returns the
+    previous setting in the same vocabulary so callers can restore it.
+    """
+    global _OBS_SETTINGS, _OBS_DISABLED
+    previous = False if _OBS_DISABLED else _OBS_SETTINGS
+    if settings is False:
+        _OBS_SETTINGS, _OBS_DISABLED = None, True
+    else:
+        if isinstance(settings, (str, os.PathLike)):
+            settings = ObsSettings(root=str(settings))
+        _OBS_SETTINGS, _OBS_DISABLED = settings, False
+    return previous
+
+
+def active_obs_settings() -> Optional[ObsSettings]:
+    """The observability settings :func:`execute_point` will honour, if any."""
+    if _OBS_DISABLED:
+        return None
+    if _OBS_SETTINGS is not None:
+        return _OBS_SETTINGS
+    root = os.environ.get(OBS_ENV)
+    if not root:
+        return None
+    return ObsSettings(root=root)
 
 
 def trace_key_for_params(params: Dict[str, ParamValue],
@@ -283,8 +349,25 @@ def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
     config = build_point_config(params)
     trace = trace_for_params(params)
     system_kind = params.get("system", "hardware")
+    obs = active_obs_settings()
+    observer = heartbeats = digest = None
+    if obs is not None and system_kind == "hardware":
+        # Telemetry is hardware-frontend instrumentation; software-runtime
+        # points run unobserved (their results are unaffected either way).
+        from repro.obs import ObsConfig, Observer
+        from repro.obs.report import HeartbeatWriter
+
+        digest = content_digest(params)
+        observer = Observer(ObsConfig(capacity=obs.capacity,
+                                      sample_interval=obs.sample_interval,
+                                      module_spans=obs.module_spans,
+                                      heartbeat_seconds=obs.heartbeat_seconds))
+        heartbeats = HeartbeatWriter(obs.root)
+        observer.heartbeat = heartbeats.progress_hook(digest)
+        heartbeats.emit("point_start", point=digest,
+                        workload=str(params.get("workload", "")))
     if system_kind == "hardware":
-        result = TaskSuperscalarSystem(config).run(
+        result = TaskSuperscalarSystem(config, observer=observer).run(
             trace, validate=bool(params.get("validate", False)))
     elif system_kind == "software":
         from repro.software.runtime_sim import SoftwareRuntimeSystem
@@ -293,7 +376,33 @@ def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
             trace, validate=bool(params.get("validate", False)))
     else:  # pragma: no cover - SweepSpec.validate rejects this earlier
         raise ConfigurationError(f"unknown system {system_kind!r}")
+    if observer is not None:
+        _write_point_telemetry(obs, digest, params, observer, result)
+        heartbeats.emit("point_done", point=digest,
+                        makespan_cycles=result.makespan_cycles,
+                        tasks=result.tasks_completed)
     return result_to_dict(result)
+
+
+def _write_point_telemetry(obs: ObsSettings, digest: str,
+                           params: Dict[str, ParamValue], observer,
+                           result: SimulationResult) -> None:
+    """Persist one observed point's telemetry artifacts under ``obs.root``."""
+    from pathlib import Path
+
+    from repro.obs.io import save_recording
+    from repro.obs.report import point_summary, write_point_summary
+
+    recording = observer.snapshot(meta={"point": digest})
+    summary = point_summary(
+        recording, params=params,
+        metrics={"makespan_cycles": result.makespan_cycles,
+                 "speedup": result.speedup,
+                 "decode_rate_cycles": result.decode_rate_cycles})
+    write_point_summary(obs.root, digest, summary)
+    if obs.keep_recordings:
+        save_recording(recording,
+                       Path(obs.root) / "recordings" / f"{digest}.robs")
 
 
 def _execute_indexed(payload: Tuple[int, Dict[str, ParamValue]]) -> Tuple[int, Dict]:
@@ -526,13 +635,16 @@ class ParallelRunner:
         if pending:
             pending_points = [points[indexes[0]] for indexes in pending.values()]
             initializer = initargs = None
+            store_arg: Optional[str] = _KEEP_STORE
             if self.trace_store is not None:
                 trace_generated, trace_reused = self._bake_traces(pending_points)
-                initializer = _worker_init
-                initargs = (str(self.trace_store.root),)
+                store_arg = str(self.trace_store.root)
             elif self.trace_store_disabled:
+                store_arg = None
+            obs = active_obs_settings()
+            if store_arg != _KEEP_STORE or obs is not None:
                 initializer = _worker_init
-                initargs = (None,)
+                initargs = (store_arg, obs)
             context = (multiprocessing.get_context(self.start_method)
                        if self.start_method else multiprocessing.get_context())
             workers = min(self.num_workers, len(pending))
@@ -565,14 +677,24 @@ class ParallelRunner:
                         trace_reused=trace_reused)
 
 
-def _worker_init(store_root: Optional[str]) -> None:
-    """Pool initializer: point the worker at the parent's trace store.
+#: Worker-init sentinel: leave the worker's trace-store configuration alone
+#: (the runner had no store opinion; only observability needed the initializer).
+_KEEP_STORE = "__keep__"
 
-    ``None`` means the parent explicitly disabled the store
+
+def _worker_init(store_root: Optional[str],
+                 obs_settings: Optional[ObsSettings] = None) -> None:
+    """Pool initializer: hand the parent's trace store and obs settings over.
+
+    ``store_root=None`` means the parent explicitly disabled the store
     (``trace_store=False``), which must override any ``REPRO_TRACE_STORE``
-    environment variable the worker inherited.
+    environment variable the worker inherited; the :data:`_KEEP_STORE`
+    sentinel leaves the store configuration untouched.
     """
-    configure_trace_store(False if store_root is None else store_root)
+    if store_root != _KEEP_STORE:
+        configure_trace_store(False if store_root is None else store_root)
+    if obs_settings is not None:
+        configure_observability(obs_settings)
 
 
 def _require_complete(points: List[SweepPoint],

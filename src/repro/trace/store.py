@@ -119,6 +119,9 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.bakes = 0
+        #: Bytes freed (or, on a dry run, that would be freed) by the most
+        #: recent :meth:`gc` call.
+        self.last_gc_bytes = 0
 
     @classmethod
     def for_cache(cls, cache) -> "TraceStore":
@@ -227,10 +230,29 @@ class TraceStore:
         in-flight temp file is left alone).  With ``keep``, any readable
         entry whose digest is not in the set goes too; ``drop_all`` clears
         the store.
+
+        The reclaimed size (summed ``st_size`` of every removed path) is
+        left in :attr:`last_gc_bytes` -- on a dry run, the size that a real
+        run would reclaim.
         """
         removed: List[Path] = []
+        self.last_gc_bytes = 0
         if not self.root.is_dir():
             return removed
+
+        def drop_path(path: Path) -> None:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            removed.append(path)
+            self.last_gc_bytes += size
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    self.last_gc_bytes -= size
+
         tmp_cutoff = time.time() - TMP_GRACE_SECONDS
         for path in sorted(self.root.glob("*/*.tmp")):
             try:
@@ -238,12 +260,7 @@ class TraceStore:
                     continue  # possibly a live writer mid-bake
             except OSError:
                 continue
-            removed.append(path)
-            if not dry_run:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+            drop_path(path)
         for path in sorted(self.root.glob(f"*/*{ENTRY_SUFFIX}")):
             digest = path.stem
             try:
@@ -255,12 +272,7 @@ class TraceStore:
                     or (keep is not None and digest not in keep))
             if not drop:
                 continue
-            removed.append(path)
-            if not dry_run:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+            drop_path(path)
         return removed
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.engine import Engine
 from repro.sim.module import PacketProcessor, SimModule
-from repro.sim.stats import Accumulator, Histogram, StatsCollector
+from repro.sim.stats import Accumulator, Histogram, Sampler, StatsCollector
 
 
 class RecordingProcessor(PacketProcessor):
@@ -214,6 +214,55 @@ class TestStatsCollector:
         assert proc.stats is replacement
 
 
+class TestSamplerMemoryCap:
+    def test_decimation_keeps_series_bounded_and_spanning(self):
+        stats = StatsCollector(sample_cap=8)
+        sampler = stats.sampler_handle("occ")
+        for i in range(64):
+            sampler.add(i, float(i))
+        entries = stats.samples["occ"]
+        # The cap bounds memory; every retained + dropped sample was offered.
+        assert len(entries) <= 8
+        assert len(entries) + sampler.dropped == 64
+        # Decimation thins uniformly, so the retained series still spans the
+        # run at a coarser stride (first sample kept, last near the end).
+        assert entries[0] == (0, 0.0)
+        assert entries[-1][0] >= 64 - sampler.stride
+        times = [time for time, _ in entries]
+        assert times == sorted(times)
+
+    def test_decimation_preserves_list_identity(self):
+        # Views handed out via stats.samples[name] must stay valid across
+        # decimation (it mutates the list in place, never reassigns it).
+        stats = StatsCollector(sample_cap=4)
+        view = stats.samples["occ"]
+        sampler = stats.sampler_handle("occ")
+        for i in range(16):
+            sampler.add(i, 1.0)
+        assert stats.samples["occ"] is view
+        assert sampler.dropped > 0
+
+    def test_summary_reports_dropped_samples(self):
+        stats = StatsCollector(sample_cap=4)
+        sampler = stats.sampler_handle("occ")
+        for i in range(10):
+            sampler.add(i, 1.0)
+        summary = stats.summary()
+        assert summary["occ.samples"] == float(len(stats.samples["occ"]))
+        assert summary["occ.samples_dropped"] == float(sampler.dropped)
+        assert summary["occ.samples"] + summary["occ.samples_dropped"] == 10.0
+
+    def test_shared_handle_keeps_one_stride(self):
+        # Two call sites recording into one series must share the sampler
+        # (otherwise their strides diverge and the decimation breaks).
+        stats = StatsCollector(sample_cap=4)
+        assert stats.sampler_handle("occ") is stats.sampler_handle("occ")
+
+    def test_cap_must_allow_decimation(self):
+        with pytest.raises(ValueError):
+            Sampler([], cap=1)
+
+
 class TestHistogram:
     def test_percentiles_match_paper_style_claims(self):
         # "95% of the chains are no more than 2 tasks long".
@@ -240,3 +289,18 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().max()
         assert Histogram().mean() == 0.0
+
+    def test_summary_emits_p50_and_p99_alongside_p95(self):
+        stats = StatsCollector()
+        for value in range(1, 101):
+            stats.observe("latency", value)
+        summary = stats.summary()
+        assert summary["latency.p50"] == 50.0
+        assert summary["latency.p95"] == 95.0
+        assert summary["latency.p99"] == 99.0
+        # An empty histogram still emits the keys (as zeros), so report
+        # schemas stay stable whether or not anything was observed.
+        empty = StatsCollector()
+        empty.histogram_handle("never")
+        for suffix in ("p50", "p95", "p99"):
+            assert empty.summary()[f"never.{suffix}"] == 0.0
