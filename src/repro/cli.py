@@ -330,6 +330,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         return 0
 
+    if args.action == "profile":
+        report = bench.run_profile(scenario_name=args.scenario,
+                                   quick=args.quick, top=args.top,
+                                   sort=args.sort)
+        print(bench.format_profile(report))
+        if args.out:
+            bench.write_report(report, args.out)
+            print(f"wrote {args.out}")
+        return 0
+
     # action == "compare"
     old = bench.load_report(args.old)
     new = bench.load_report(args.new)
@@ -837,6 +847,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="exit 1 unless packed load beats cold "
                                   "generation by this factor")
     bench_trace.set_defaults(func=_cmd_bench)
+    bench_profile = bench_sub.add_parser(
+        "profile", help="cProfile one pinned scenario and print the hot spots")
+    bench_profile.add_argument("--scenario", default="h264", metavar="NAME",
+                               help="suite scenario to profile (default "
+                                    "'h264'; see 'repro bench run --only' "
+                                    "for the pinned names)")
+    bench_profile.add_argument("--quick", action="store_true",
+                               help="shrunk trace so the profile finishes "
+                                    "in seconds")
+    bench_profile.add_argument("--top", type=int, default=25,
+                               help="number of hot-spot rows to report "
+                                    "(default 25)")
+    bench_profile.add_argument("--sort", default="cumulative",
+                               choices=("cumulative", "tottime"),
+                               help="row order: time including callees "
+                                    "(cumulative, default) or self time "
+                                    "(tottime)")
+    bench_profile.add_argument("--out", default=None, metavar="PROF_JSON",
+                               help="also write the full profile report "
+                                    "as JSON")
+    bench_profile.set_defaults(func=_cmd_bench)
     bench_compare = bench_sub.add_parser(
         "compare", help="diff two bench reports with a tolerance")
     bench_compare.add_argument("old", help="baseline BENCH_*.json")

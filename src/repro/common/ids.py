@@ -14,12 +14,17 @@ message refers to (a property the paper calls out for the TRS design).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True, order=True)
-class TaskID:
+class TaskID(NamedTuple):
     """Identifier of an in-flight task: ``<TRS index, slot number>``.
+
+    A :class:`~typing.NamedTuple` rather than a frozen dataclass: IDs are
+    created and hashed on every protocol message, and tuple construction and
+    C-level tuple hashing are severalfold cheaper than the dataclass
+    equivalents.  Tuple ordering coincides with the previous
+    field-lexicographic ``order=True`` semantics.
 
     Attributes:
         trs: Index of the task reservation station storing the task.
@@ -37,8 +42,7 @@ class TaskID:
         return f"<{self.trs},{self.slot}>"
 
 
-@dataclass(frozen=True, order=True)
-class OperandID:
+class OperandID(NamedTuple):
     """Identifier of a task operand: ``<TRS index, slot number, operand index>``."""
 
     trs: int

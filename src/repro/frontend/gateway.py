@@ -63,15 +63,31 @@ class PipelineGateway(PacketProcessor):
         #: Set by the pipeline assembly.
         self.trs_list: List = []
         self.orts: List = []
+        #: Memoised ``address -> ORT index`` (see :meth:`ort_index_for`).
+        self._ort_index_cache: Dict[int, int] = {}
         self._buffer: Dict[int, _PendingTask] = {}
         self._next_buffer_slot = 0
         self._free_trs: Deque[int] = deque()
         #: Buffer slots waiting for TRS space, kept sorted in creation order.
-        self._waiting_for_space: List[int] = []
+        #: A deque: arrivals append monotonically increasing slots at the
+        #: back, the retry path re-queues only the slot it just popped (the
+        #: smallest) at the front, and the one remaining out-of-order source
+        #: (an allocation bounce re-queuing a mid-valued slot) uses a rare
+        #: linear insert -- so the hot pop is O(1) instead of list.pop(0).
+        self._waiting_for_space: Deque[int] = deque()
         self._space_listeners: List[Callable[[], None]] = []
         self._stall_sources: Set[str] = set()
         self._tasks_admitted = 0
         self._tasks_issued = 0
+        self._latency = config.message_latency_cycles
+        # "arrival" packets are plain ("arrival", slot) tuples, so the tuple
+        # type itself keys their dispatch entry.  AllocReply's service time
+        # scales with the task's operand count and stays in service_time().
+        self._register_packet(tuple, self._handle_arrival_packet,
+                              config.module_processing_cycles)
+        self._register_packet(TrsSpaceAvailable, self._handle_space_available,
+                              config.module_processing_cycles)
+        self._register_packet(AllocReply, self._handle_alloc_reply)
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
@@ -155,10 +171,9 @@ class PipelineGateway(PacketProcessor):
     # -- PacketProcessor interface --------------------------------------------------
 
     def service_time(self, packet) -> int:
-        kind = packet[0] if isinstance(packet, tuple) else type(packet).__name__
-        if kind == "arrival":
-            # Admitting a task and firing the allocation request.
-            return self.config.module_processing_cycles
+        # Constant-time packets are served through the dispatch table set up
+        # in ``__init__``; only AllocReply (operand-count-dependent) and
+        # unknown packets reach this method.
         if isinstance(packet, AllocReply):
             if packet.task is None:
                 return self.config.module_processing_cycles
@@ -167,27 +182,39 @@ class PipelineGateway(PacketProcessor):
             # Issuing every operand is charged separately (Section V: the
             # processing overhead is multiplied by the operand count).
             return self.config.module_processing_cycles * max(1, operands)
-        if isinstance(packet, TrsSpaceAvailable):
-            return self.config.module_processing_cycles
         raise ProtocolError(f"gateway received unexpected packet {packet!r}")
 
-    def handle(self, packet) -> None:
-        if isinstance(packet, tuple) and packet[0] == "arrival":
-            self._handle_arrival(packet[1])
-        elif isinstance(packet, AllocReply):
-            self._handle_alloc_reply(packet)
-        elif isinstance(packet, TrsSpaceAvailable):
-            self._handle_space_available(packet)
-        else:  # pragma: no cover - guarded by service_time
+    def handle(self, packet) -> None:  # pragma: no cover - guarded by service_time
+        raise ProtocolError(f"gateway cannot handle packet {packet!r}")
+
+    def _handle_arrival_packet(self, packet: tuple) -> None:
+        if packet[0] != "arrival":
             raise ProtocolError(f"gateway cannot handle packet {packet!r}")
+        self._handle_arrival(packet[1])
 
     # -- Flows -------------------------------------------------------------------
+
+    def _enqueue_waiting(self, buffer_slot: int) -> None:
+        """Queue ``buffer_slot`` for TRS space, keeping creation order.
+
+        Arrivals append a slot larger than everything queued; the
+        retry-one-waiting path re-queues the smallest slot it just popped.
+        Only an allocation bounce can land mid-queue, and that path is rare
+        enough for a linear insert.
+        """
+        waiting = self._waiting_for_space
+        if not waiting or buffer_slot > waiting[-1]:
+            waiting.append(buffer_slot)
+        elif buffer_slot < waiting[0]:
+            waiting.appendleft(buffer_slot)
+        else:
+            waiting.insert(bisect.bisect_left(waiting, buffer_slot), buffer_slot)
 
     def _handle_arrival(self, buffer_slot: int) -> None:
         if self._waiting_for_space:
             # Older tasks are already queued for TRS space; keep allocation in
             # creation order rather than letting a newcomer race past them.
-            bisect.insort(self._waiting_for_space, buffer_slot)
+            self._enqueue_waiting(buffer_slot)
             self._stat_window_full_waits.value += 1
             pending = self._buffer.get(buffer_slot)
             if pending is not None:
@@ -206,7 +233,7 @@ class PipelineGateway(PacketProcessor):
             # task for a TrsSpaceAvailable retry, keeping the queue in task
             # creation order (buffer slots are assigned monotonically) so
             # older tasks are always admitted to the window first.
-            bisect.insort(self._waiting_for_space, buffer_slot)
+            self._enqueue_waiting(buffer_slot)
             self._stat_window_full_waits.value += 1
             self._obs_task(EV_TASK_WINDOW_WAIT, self.now,
                            pending.record.sequence)
@@ -215,7 +242,7 @@ class PipelineGateway(PacketProcessor):
                                buffer_slot=buffer_slot)
         pending.attempted_trs.add(target)
         self.send(self.trs_list[target], request,
-                  latency=self.config.message_latency_cycles)
+                  latency=self._latency)
 
     def _pick_trs(self, pending: _PendingTask) -> Optional[int]:
         """First TRS in the free queue the task has not bounced off yet."""
@@ -254,8 +281,10 @@ class PipelineGateway(PacketProcessor):
 
     def _issue_operands(self, pending: _PendingTask, task: TaskID) -> None:
         record = pending.record
-        latency = self.config.message_latency_cycles
+        latency = self._latency
         trs = self.trs_list[task.trs]
+        orts = self.orts
+        ort_cache = self._ort_index_cache
         # Hand the trace record to the TRS (the hardware ships the packed task
         # buffer; the model shares the record object instead).
         trs.bind_record(task, record)
@@ -264,11 +293,16 @@ class PipelineGateway(PacketProcessor):
             if operand.is_scalar:
                 self.send(trs, ScalarOperand(operand=operand_id), latency=latency)
                 continue
-            ort = self.orts[self.ort_index_for(operand.address)]
-            self.send(ort, OperandDecodeRequest(operand=operand_id,
-                                                direction=operand.direction,
-                                                address=operand.address,
-                                                size=operand.size),
+            address = operand.address
+            ort_index = ort_cache.get(address)
+            if ort_index is None:
+                ort_index = self.ort_index_for(address)
+                ort_cache[address] = ort_index
+            self.send(orts[ort_index],
+                      OperandDecodeRequest(operand=operand_id,
+                                           direction=operand.direction,
+                                           address=address,
+                                           size=operand.size),
                       latency=latency)
 
     def ort_index_for(self, address: int) -> int:
@@ -277,7 +311,9 @@ class PipelineGateway(PacketProcessor):
         Selecting directly on address bits would create load imbalance because
         object sizes (and alignments) vary; hashing -- pipelined in the
         hardware and therefore free of extra latency -- spreads objects across
-        ORTs (Section IV.B.1).
+        ORTs (Section IV.B.1).  The hash is pure, so ``_issue_operands``
+        memoises it per address (operands of the same object recur across
+        tasks).
         """
         if not self.orts:
             raise CapacityError("gateway has no ORTs attached")
@@ -295,7 +331,7 @@ class PipelineGateway(PacketProcessor):
 
     def _retry_one_waiting(self) -> None:
         while self._waiting_for_space:
-            buffer_slot = self._waiting_for_space.pop(0)
+            buffer_slot = self._waiting_for_space.popleft()
             pending = self._buffer.get(buffer_slot)
             if pending is None:
                 continue

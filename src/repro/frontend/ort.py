@@ -32,7 +32,7 @@ from repro.frontend.messages import (
     VersionRequest,
     VersionUse,
 )
-from repro.frontend.storage import RenamingEntry, RenamingTable
+from repro.frontend.storage import RenamingTable
 from repro.sim.engine import Engine
 from repro.sim.module import PacketProcessor
 from repro.sim.stats import StatsCollector
@@ -55,6 +55,15 @@ class ObjectRenamingTable(PacketProcessor):
         self.gateway = None
         self._next_version = 0
         self._stalling = False
+        self._latency = config.message_latency_cycles
+        processing = config.module_processing_cycles
+        edram = config.edram_latency_cycles
+        # Tag blocks are read sequentially from eDRAM (two 64 B blocks)
+        # before the entry itself is accessed.
+        self._register_packet(OperandDecodeRequest, self._handle_decode_packet,
+                              processing + 2 * edram)
+        self._register_packet(EntryRelease, self._handle_release_packet,
+                              processing + edram)
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
@@ -108,21 +117,20 @@ class ObjectRenamingTable(PacketProcessor):
     # -- PacketProcessor interface ----------------------------------------------------
 
     def service_time(self, packet) -> int:
-        if isinstance(packet, OperandDecodeRequest):
-            # Tag blocks are read sequentially from eDRAM (two 64 B blocks)
-            # before the entry itself is accessed.
-            return self.config.module_processing_cycles + 2 * self.config.edram_latency_cycles
-        if isinstance(packet, EntryRelease):
-            return self.config.module_processing_cycles + self.config.edram_latency_cycles
+        # Known packet types are served through the constant-time dispatch
+        # table registered in ``__init__``; reaching this method means the
+        # packet is not part of the ORT protocol.
         raise ProtocolError(f"{self.name} received unexpected packet {packet!r}")
 
-    def handle(self, packet) -> None:
-        if isinstance(packet, OperandDecodeRequest):
-            self._decode_operand(packet)
-        elif isinstance(packet, EntryRelease):
-            self._release_entry(packet)
-        else:  # pragma: no cover - guarded by service_time
-            raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+    def handle(self, packet) -> None:  # pragma: no cover - guarded by service_time
+        raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+
+    def _handle_decode_packet(self, request: OperandDecodeRequest) -> None:
+        self._decode_operand(request)
+        self.update_pressure()
+
+    def _handle_release_packet(self, release: EntryRelease) -> None:
+        self._release_entry(release)
         self.update_pressure()
 
     # -- Decode flows (Figures 7, 8, 9) ------------------------------------------------
@@ -140,16 +148,18 @@ class ObjectRenamingTable(PacketProcessor):
 
     def _decode_input(self, request: OperandDecodeRequest) -> None:
         """Figure 8: match the reader with the most recent user of the object."""
-        entry = self.table.lookup(request.address)
-        latency = self.config.message_latency_cycles
-        if entry is not None:
-            previous_user = entry.last_user
+        table = self.table
+        row = table.lookup_row(request.address)
+        latency = self._latency
+        if row >= 0:
+            previous_user = table.user_col[row]
             self.send(self.ovt, VersionUse(operand=request.operand,
                                            address=request.address,
-                                           version=entry.version), latency=latency)
+                                           version=table.version_col[row]),
+                      latency=latency)
             self._send_operand_info(request, previous_user=previous_user, expected_ready=1)
-            entry.last_user = request.operand
-            entry.last_user_is_writer = False
+            table.user_col[row] = request.operand
+            table.writer_col[row] = False
             self._stat_reader_hits.value += 1
         else:
             # Miss: the data is already in memory.  A new version is created to
@@ -162,19 +172,18 @@ class ObjectRenamingTable(PacketProcessor):
                                                kind=VersionKind.READER_MISS,
                                                version_id=version_id,
                                                previous_version=None), latency=latency)
-            self.table.insert(RenamingEntry(address=request.address, size=request.size,
-                                            last_user=request.operand,
-                                            version=version_id,
-                                            last_user_is_writer=False))
+            table.insert_row(request.address, request.size, request.operand,
+                             version_id, False)
             self._send_operand_info(request, previous_user=None, expected_ready=1)
             self._stat_reader_misses.value += 1
 
     def _decode_output(self, request: OperandDecodeRequest) -> None:
         """Figure 7: rename the object; the operand is ready once renamed."""
-        entry = self.table.lookup(request.address)
-        previous_version = entry.version if entry is not None else None
+        table = self.table
+        row = table.lookup_row(request.address)
+        previous_version = table.version_col[row] if row >= 0 else None
         version_id = self._allocate_version_id()
-        latency = self.config.message_latency_cycles
+        latency = self._latency
         self._send_operand_info(request, previous_user=None, expected_ready=1)
         self.send(self.ovt, VersionRequest(operand=request.operand,
                                            address=request.address,
@@ -183,16 +192,21 @@ class ObjectRenamingTable(PacketProcessor):
                                            version_id=version_id,
                                            previous_version=previous_version),
                   latency=latency)
-        self._update_entry(request, version_id)
+        self._update_entry(request, version_id, row)
         self._stat_writer_decodes.value += 1
 
     def _decode_inout(self, request: OperandDecodeRequest) -> None:
         """Figure 9: true dependency -- chain the input, gate the output."""
-        entry = self.table.lookup(request.address)
-        previous_user = entry.last_user if entry is not None else None
-        previous_version = entry.version if entry is not None else None
+        table = self.table
+        row = table.lookup_row(request.address)
+        if row >= 0:
+            previous_user = table.user_col[row]
+            previous_version = table.version_col[row]
+        else:
+            previous_user = None
+            previous_version = None
         version_id = self._allocate_version_id()
-        latency = self.config.message_latency_cycles
+        latency = self._latency
         self._send_operand_info(request, previous_user=previous_user, expected_ready=2)
         self.send(self.ovt, VersionRequest(operand=request.operand,
                                            address=request.address,
@@ -201,7 +215,7 @@ class ObjectRenamingTable(PacketProcessor):
                                            version_id=version_id,
                                            previous_version=previous_version),
                   latency=latency)
-        self._update_entry(request, version_id)
+        self._update_entry(request, version_id, row)
         self._stat_inout_decodes.value += 1
 
     # -- Helpers -------------------------------------------------------------------------
@@ -211,18 +225,17 @@ class ObjectRenamingTable(PacketProcessor):
         self._next_version += 1
         return version_id
 
-    def _update_entry(self, request: OperandDecodeRequest, version_id: int) -> None:
-        entry = self.table.peek(request.address)
-        if entry is None:
-            self.table.insert(RenamingEntry(address=request.address, size=request.size,
-                                            last_user=request.operand,
-                                            version=version_id,
-                                            last_user_is_writer=True))
+    def _update_entry(self, request: OperandDecodeRequest, version_id: int,
+                      row: int) -> None:
+        table = self.table
+        if row < 0:
+            table.insert_row(request.address, request.size, request.operand,
+                             version_id, True)
         else:
-            entry.last_user = request.operand
-            entry.last_user_is_writer = True
-            entry.version = version_id
-            entry.size = request.size
+            table.user_col[row] = request.operand
+            table.writer_col[row] = True
+            table.version_col[row] = version_id
+            table.size_col[row] = request.size
 
     def _send_operand_info(self, request: OperandDecodeRequest,
                            previous_user, expected_ready: int) -> None:
@@ -231,7 +244,7 @@ class ObjectRenamingTable(PacketProcessor):
                            previous_user=previous_user, expected_ready=expected_ready,
                            ovt_index=self.index)
         self.send(self.trs_list[request.operand.trs], info,
-                  latency=self.config.message_latency_cycles)
+                  latency=self._latency)
 
     def _release_entry(self, release: EntryRelease) -> None:
         removed = self.table.remove(release.address, version=release.version)

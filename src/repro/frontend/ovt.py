@@ -53,6 +53,11 @@ class ObjectVersioningTable(PacketProcessor):
         self.trs_list: List = []
         self.gateway = None
         self._stalling = False
+        self._latency = config.message_latency_cycles
+        service = config.module_processing_cycles + config.edram_latency_cycles
+        self._register_packet(VersionRequest, self._handle_create_packet, service)
+        self._register_packet(VersionUse, self._handle_use_packet, service)
+        self._register_packet(VersionRelease, self._handle_release_packet, service)
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
@@ -111,52 +116,59 @@ class ObjectVersioningTable(PacketProcessor):
     # -- PacketProcessor interface ---------------------------------------------------
 
     def service_time(self, packet) -> int:
-        if isinstance(packet, (VersionRequest, VersionUse, VersionRelease)):
-            return self.config.module_processing_cycles + self.config.edram_latency_cycles
+        # Known packet types are served through the constant-time dispatch
+        # table registered in ``__init__``; reaching this method means the
+        # packet is not part of the OVT protocol.
         raise ProtocolError(f"{self.name} received unexpected packet {packet!r}")
 
-    def handle(self, packet) -> None:
-        if isinstance(packet, VersionRequest):
-            self._create_version(packet)
-        elif isinstance(packet, VersionUse):
-            self._add_user(packet)
-        elif isinstance(packet, VersionRelease):
-            self._release_use(packet)
-        else:  # pragma: no cover - guarded by service_time
-            raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+    def handle(self, packet) -> None:  # pragma: no cover - guarded by service_time
+        raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+
+    def _handle_create_packet(self, request: VersionRequest) -> None:
+        self._create_version(request)
+        self.update_pressure()
+
+    def _handle_use_packet(self, use: VersionUse) -> None:
+        self._add_user(use)
+        self.update_pressure()
+
+    def _handle_release_packet(self, release: VersionRelease) -> None:
+        self._release_use(release)
         self.update_pressure()
 
     # -- Version management --------------------------------------------------------
 
     def _create_version(self, request: VersionRequest) -> None:
+        table = self.table
         renamed = request.kind is VersionKind.OUTPUT
         producer = None if request.kind is VersionKind.READER_MISS else request.operand
-        version = self.table.create(address=request.address, size=request.size,
-                                    producer=producer, renamed=renamed,
-                                    version_id=request.version_id)
+        row = table.create(address=request.address, size=request.size,
+                           producer=producer, renamed=renamed,
+                           version_id=request.version_id)
         if request.kind is VersionKind.READER_MISS:
             # Track the missing reader as a user so the version lives until it
             # finishes (create() only auto-registers writers).
-            self.table.add_user(request.version_id, request.operand)
+            table.usage_col[row] += 1
+            table.operand_version[request.operand] = table.vid_col[row]
             self._stat_reader_miss_versions.value += 1
             return
-        latency = self.config.message_latency_cycles
+        latency = self._latency
         trs = self.trs_list[request.operand.trs]
         if request.kind is VersionKind.OUTPUT:
             # Renamed: the output buffer is available immediately (Figure 7).
             self.send(trs, DataReady(operand=request.operand,
                                      kind=ReadyKind.OUTPUT_BUFFER,
-                                     rename_address=version.renamed_address),
+                                     rename_address=table.renamed_col[row]),
                       latency=latency)
             self._stat_renames.value += 1
             return
         # INOUT: the output half is gated on the release of the previous
         # version (Figure 9).  If there is no live previous version, the
         # buffer is free right away.
-        previous = self.table.find(request.previous_version)
-        if previous is not None and previous.usage_count > 0:
-            previous.next_version = request.version_id
-            previous.waiting_inout = request.operand
+        prev_row = table.row_of(request.previous_version)
+        if prev_row >= 0 and table.usage_col[prev_row] > 0:
+            table.next_col[prev_row] = request.version_id
+            table.waiting_col[prev_row] = request.operand
             self._stat_inout_waits.value += 1
         else:
             self.send(trs, DataReady(operand=request.operand,
@@ -164,29 +176,34 @@ class ObjectVersioningTable(PacketProcessor):
             self._stat_inout_immediate.value += 1
 
     def _add_user(self, use: VersionUse) -> None:
-        version = self.table.find(use.version)
-        if version is None:
+        table = self.table
+        row = table.row_of(use.version)
+        if row < 0:
             # The version died between the ORT's lookup and this message being
             # processed; the reader's data is already in memory, so nothing is
             # lost -- just account for it.
             self._stat_use_after_release.value += 1
             return
-        self.table.add_user(use.version, use.operand)
+        table.usage_col[row] += 1
+        table.operand_version[use.operand] = use.version
 
     def _release_use(self, release: VersionRelease) -> None:
-        dead = self.table.release_use(release.operand)
-        if dead is None:
+        table = self.table
+        row = table.release_use_row(release.operand)
+        if row < 0:
             return
-        latency = self.config.message_latency_cycles
-        if dead.waiting_inout is not None:
+        latency = self._latency
+        waiting = table.waiting_col[row]
+        if waiting is not None:
             # Unblock the inout operand of the superseding version: all the
             # readers of the previous version have drained.
-            trs = self.trs_list[dead.waiting_inout.trs]
-            self.send(trs, DataReady(operand=dead.waiting_inout,
+            trs = self.trs_list[waiting.trs]
+            self.send(trs, DataReady(operand=waiting,
                                      kind=ReadyKind.OUTPUT_BUFFER), latency=latency)
             self._stat_inout_released.value += 1
         if self.ort is not None:
-            self.send(self.ort, EntryRelease(address=dead.address,
-                                             version=dead.version_id), latency=latency)
-        self.table.remove(dead.version_id)
+            self.send(self.ort, EntryRelease(address=table.addr_col[row],
+                                             version=table.vid_col[row]),
+                      latency=latency)
+        table.remove_row(row)
         self._stat_versions_released.value += 1

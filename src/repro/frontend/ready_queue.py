@@ -30,6 +30,8 @@ class ReadyQueue(PacketProcessor):
         #: Callback invoked (with no arguments) whenever a task is enqueued.
         self.on_task_available: Optional[Callable[[], None]] = None
         self._peak_depth = 0
+        # Hardware task queues enqueue in a handful of cycles.
+        self._register_packet(TaskReady, self._handle_task_ready, 1)
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
@@ -39,16 +41,18 @@ class ReadyQueue(PacketProcessor):
     # -- PacketProcessor interface ----------------------------------------------------
 
     def service_time(self, packet) -> int:
-        if isinstance(packet, TaskReady):
-            # Hardware task queues enqueue in a handful of cycles.
-            return 1
+        # TaskReady is served through the constant-time dispatch table
+        # registered in ``__init__``; anything else is a protocol error.
         raise ProtocolError(f"ready queue received unexpected packet {packet!r}")
 
-    def handle(self, packet) -> None:
-        if not isinstance(packet, TaskReady):  # pragma: no cover - guarded above
-            raise ProtocolError(f"ready queue cannot handle {packet!r}")
+    def handle(self, packet) -> None:  # pragma: no cover - guarded by service_time
+        raise ProtocolError(f"ready queue cannot handle {packet!r}")
+
+    def _handle_task_ready(self, packet: TaskReady) -> None:
         self._ready_tasks.append(packet)
-        self._peak_depth = max(self._peak_depth, len(self._ready_tasks))
+        depth = len(self._ready_tasks)
+        if depth > self._peak_depth:
+            self._peak_depth = depth
         self._stat_enqueued.value += 1
         if self.on_task_available is not None:
             self.on_task_available()

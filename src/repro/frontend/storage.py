@@ -16,16 +16,30 @@ Three untimed data structures back the timed pipeline modules:
   version pointers, consumer-chain heads and rename-buffer addresses, plus
   the power-of-two bucket allocator for rename buffers.
 
+The renaming and version tables are stored **structure-of-arrays**: one
+``array('q')`` column per integer field (tag, version, use count, ...) plus
+parallel object columns for the operand IDs, indexed by a recycled row
+number.  This mirrors the hardware's fixed tag/payload arrays -- a live entry
+is a row whose valid bit is set, not a Python object -- and removes the
+per-entry object allocation and attribute traffic that previously dominated
+the decode hot path.  Row lookup goes through a small per-set (ORT) or
+per-table (OVT) index dict, the model's O(1) stand-in for the hardware's
+parallel 16-way tag compare.  The timed modules (:mod:`repro.frontend.ort`,
+:mod:`repro.frontend.ovt`) operate on rows and columns directly; the
+:class:`RenamingEntry` / :class:`VersionRecord` tuples remain as read-only
+*views* materialised only on cold paths (tests, debugging).
+
 Keeping these structures separate from the timed modules makes them easy to
 unit-test and lets the property-based tests hammer the allocators directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from array import array
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.common.errors import AllocationError, CapacityError
+from repro.common.hashing import bucket_for
 from repro.common.ids import OperandID
 
 
@@ -160,9 +174,14 @@ class BlockStorage:
 # ORT renaming table
 # ---------------------------------------------------------------------------
 
-@dataclass
-class RenamingEntry:
-    """One ORT entry: the current mapping for a memory object."""
+class RenamingEntry(NamedTuple):
+    """Read-only view of one ORT entry (cold paths and tests only).
+
+    The live table stores entries as packed columns (see
+    :class:`RenamingTable`); this tuple is materialised on demand by
+    :meth:`RenamingTable.lookup` / :meth:`RenamingTable.peek` and accepted by
+    the compatibility :meth:`RenamingTable.insert`.
+    """
 
     address: int
     size: int
@@ -177,6 +196,17 @@ class RenamingTable:
     The table is organised as ``num_sets`` sets of ``assoc`` ways.  Lookups
     hash the object's base address to a set and match the full address within
     the set.
+
+    Storage is structure-of-arrays: ``addr_col`` / ``size_col`` /
+    ``version_col`` / ``writer_col`` are ``array('q')`` columns and
+    ``user_col`` the parallel object column holding each row's last-user
+    operand ID.  A freed row's tag is reset to ``-1`` (its valid bit) and the
+    row is recycled through a free list.  The hardware locates an entry with
+    a parallel tag compare across the 16 ways of a set; the model's O(1)
+    equivalent is one ``{address: row}`` index dict per set.  The hot-path
+    row API (:meth:`lookup_row` / :meth:`peek_row` / :meth:`insert_row` plus
+    direct column access) is what the ORT module uses; :meth:`lookup` /
+    :meth:`peek` / :meth:`insert` remain as view-based wrappers.
 
     Capacity policy: the hardware stalls the *gateway* when an allocation
     targets a full set, so no new work is admitted until an entry is released
@@ -198,16 +228,24 @@ class RenamingTable:
             raise CapacityError("ORT associativity must be positive")
         self.num_sets = num_sets
         self.assoc = assoc
-        self._sets: List[Dict[int, RenamingEntry]] = [dict() for _ in range(num_sets)]
+        #: Packed columns, indexed by row; rows are recycled via ``_free_rows``.
+        self.addr_col = array("q")
+        self.size_col = array("q")
+        self.version_col = array("q")
+        self.writer_col = array("b")
+        self.user_col: List[Optional[OperandID]] = []
+        self._free_rows: List[int] = []
+        #: Per-set ``{address: row}`` index (the parallel tag compare).
+        self._index: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+        #: Memoised ``address -> set index`` (the hash is pure, and operand
+        #: addresses repeat across the tasks touching the same object).
+        self._set_cache: Dict[int, int] = {}
         self._pressured_sets: int = 0
         self._occupancy: int = 0
         self.insertions = 0
         self.overflow_insertions = 0
         self.hits = 0
         self.misses = 0
-
-    def _set_for(self, address: int) -> Dict[int, RenamingEntry]:
-        return self._sets[self.set_index(address)]
 
     def set_index(self, address: int) -> int:
         """Set index for ``address``.
@@ -216,45 +254,94 @@ class RenamingTable:
         directly) to avoid load imbalance from varying object sizes and
         alignments.
         """
-        from repro.common.hashing import bucket_for
+        index = self._set_cache.get(address)
+        if index is None:
+            index = bucket_for(address, self.num_sets, salt=1)
+            self._set_cache[address] = index
+        return index
 
-        return bucket_for(address, self.num_sets, salt=1)
+    # -- Hot-path row API (used by the ORT module) ---------------------------
 
-    def lookup(self, address: int) -> Optional[RenamingEntry]:
-        """Return the entry for ``address``, or None (recording hit/miss)."""
-        entry = self._set_for(address).get(address)
-        if entry is None:
+    def lookup_row(self, address: int) -> int:
+        """Row holding ``address``, or -1 (recording hit/miss)."""
+        row = self._index[self.set_index(address)].get(address, -1)
+        if row < 0:
             self.misses += 1
         else:
             self.hits += 1
-        return entry
+        return row
 
-    def peek(self, address: int) -> Optional[RenamingEntry]:
-        """Like :meth:`lookup` but without touching the hit/miss counters."""
-        return self._set_for(address).get(address)
+    def peek_row(self, address: int) -> int:
+        """Like :meth:`lookup_row` but without touching the hit/miss counters."""
+        return self._index[self.set_index(address)].get(address, -1)
 
-    def can_insert(self, address: int) -> bool:
-        """True if ``address`` already has an entry or its set has a free way."""
-        target = self._set_for(address)
-        return address in target or len(target) < self.assoc
-
-    def insert(self, entry: RenamingEntry) -> None:
-        """Insert or update the entry for ``entry.address``.
+    def insert_row(self, address: int, size: int, last_user: OperandID,
+                   version: int, writer: bool) -> int:
+        """Insert or update the row for ``address`` and return it.
 
         Inserting into a full set is allowed (see the class docstring) but
         recorded as an overflow and reflected by :meth:`is_pressured`.
         """
-        target = self._set_for(entry.address)
-        if entry.address not in target:
-            if len(target) >= self.assoc:
+        bucket = self._index[self.set_index(address)]
+        row = bucket.get(address, -1)
+        if row < 0:
+            if len(bucket) >= self.assoc:
                 self.overflow_insertions += 1
             self.insertions += 1
-            target[entry.address] = entry
+            free = self._free_rows
+            if free:
+                row = free.pop()
+                self.addr_col[row] = address
+                self.size_col[row] = size
+                self.version_col[row] = version
+                self.writer_col[row] = writer
+                self.user_col[row] = last_user
+            else:
+                row = len(self.addr_col)
+                self.addr_col.append(address)
+                self.size_col.append(size)
+                self.version_col.append(version)
+                self.writer_col.append(writer)
+                self.user_col.append(last_user)
+            bucket[address] = row
             self._occupancy += 1
-            if len(target) == self.assoc:
+            if len(bucket) == self.assoc:
                 self._pressured_sets += 1
         else:
-            target[entry.address] = entry
+            self.size_col[row] = size
+            self.version_col[row] = version
+            self.writer_col[row] = writer
+            self.user_col[row] = last_user
+        return row
+
+    # -- View-based compatibility API ---------------------------------------
+
+    def _view(self, row: int) -> RenamingEntry:
+        return RenamingEntry(address=self.addr_col[row], size=self.size_col[row],
+                             last_user=self.user_col[row],
+                             version=self.version_col[row],
+                             last_user_is_writer=bool(self.writer_col[row]))
+
+    def lookup(self, address: int) -> Optional[RenamingEntry]:
+        """Return a view of the entry for ``address``, or None (recording
+        hit/miss)."""
+        row = self.lookup_row(address)
+        return self._view(row) if row >= 0 else None
+
+    def peek(self, address: int) -> Optional[RenamingEntry]:
+        """Like :meth:`lookup` but without touching the hit/miss counters."""
+        row = self.peek_row(address)
+        return self._view(row) if row >= 0 else None
+
+    def can_insert(self, address: int) -> bool:
+        """True if ``address`` already has an entry or its set has a free way."""
+        bucket = self._index[self.set_index(address)]
+        return address in bucket or len(bucket) < self.assoc
+
+    def insert(self, entry: RenamingEntry) -> None:
+        """Insert or update the entry for ``entry.address`` (view-based)."""
+        self.insert_row(entry.address, entry.size, entry.last_user,
+                        entry.version, entry.last_user_is_writer)
 
     def is_pressured(self) -> bool:
         """True when the table should back-pressure the gateway.
@@ -278,15 +365,18 @@ class RenamingTable:
         Returns:
             True if an entry was removed.
         """
-        target = self._set_for(address)
-        entry = target.get(address)
-        if entry is None:
+        bucket = self._index[self.set_index(address)]
+        row = bucket.get(address, -1)
+        if row < 0:
             return False
-        if version is not None and entry.version != version:
+        if version is not None and self.version_col[row] != version:
             return False
-        del target[address]
+        del bucket[address]
+        self.addr_col[row] = -1
+        self.user_col[row] = None
+        self._free_rows.append(row)
         self._occupancy -= 1
-        if len(target) == self.assoc - 1:
+        if len(bucket) == self.assoc - 1:
             # The set just dropped back below its associativity.
             self._pressured_sets -= 1
         return True
@@ -306,9 +396,12 @@ class RenamingTable:
 # OVT version table and rename-buffer allocator
 # ---------------------------------------------------------------------------
 
-@dataclass
-class VersionRecord:
-    """One OVT entry: a live version of a memory object.
+class VersionRecord(NamedTuple):
+    """Read-only view of one OVT entry (cold paths and tests only).
+
+    The live table stores versions as packed columns (see
+    :class:`VersionTable`); this tuple is materialised on demand by
+    :meth:`VersionTable.get` / :meth:`VersionTable.find`.
 
     Attributes:
         version_id: Identifier of the version within its OVT.
@@ -370,14 +463,37 @@ class RenameBufferAllocator:
 
 
 class VersionTable:
-    """The OVT's table of live versions plus per-operand version membership."""
+    """The OVT's table of live versions plus per-operand version membership.
+
+    Structure-of-arrays: every live version is a row across the packed
+    columns ``vid_col`` / ``addr_col`` / ``size_col`` / ``usage_col`` /
+    ``next_col`` / ``renamed_col`` (``array('q')``; ``-1`` means "none") and
+    the parallel object columns ``waiting_col`` / ``producer_col``.  Rows are
+    located through the ``{version_id: row}`` index and recycled through a
+    free list; a freed row's ``vid_col`` is reset to ``-1`` (its valid bit).
+    The OVT module reads and writes columns directly on its hot path; the
+    view-based :meth:`get` / :meth:`find` remain for cold paths and tests.
+    """
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise CapacityError("OVT capacity must be positive")
         self.capacity = capacity
-        self._versions: Dict[int, VersionRecord] = {}
-        self._operand_version: Dict[OperandID, int] = {}
+        #: Packed columns, indexed by row; rows are recycled via ``_free_rows``.
+        self.vid_col = array("q")
+        self.addr_col = array("q")
+        self.size_col = array("q")
+        self.usage_col = array("q")
+        self.next_col = array("q")
+        self.renamed_col = array("q")
+        self.waiting_col: List[Optional[OperandID]] = []
+        self.producer_col: List[Optional[OperandID]] = []
+        self._row_of: Dict[int, int] = {}
+        self._free_rows: List[int] = []
+        #: ``operand -> version_id`` membership (kept on version IDs, not
+        #: rows: a mapping may legitimately outlive its version, and rows are
+        #: recycled).
+        self.operand_version: Dict[OperandID, int] = {}
         self._next_id = 0
         self.created = 0
         self.released = 0
@@ -387,11 +503,11 @@ class VersionTable:
     @property
     def live_versions(self) -> int:
         """Number of versions currently live."""
-        return len(self._versions)
+        return len(self._row_of)
 
     def can_create(self) -> bool:
         """True if a new version fits within the nominal capacity."""
-        return len(self._versions) < self.capacity
+        return len(self._row_of) < self.capacity
 
     def is_pressured(self) -> bool:
         """True when the table is at or beyond its nominal capacity.
@@ -400,11 +516,11 @@ class VersionTable:
         the gateway rather than blocking operands already in the pipeline;
         versions created while pressured are counted in ``overflow_creations``.
         """
-        return len(self._versions) >= self.capacity
+        return len(self._row_of) >= self.capacity
 
     def create(self, address: int, size: int, producer: Optional[OperandID],
-               renamed: bool, version_id: Optional[int] = None) -> VersionRecord:
-        """Create a new version.
+               renamed: bool, version_id: Optional[int] = None) -> int:
+        """Create a new version and return its row.
 
         Args:
             version_id: Optional externally assigned identifier.  The paired
@@ -413,76 +529,134 @@ class VersionTable:
                 both modules' numbering consistent.
 
         """
-        if not self.can_create():
+        if len(self._row_of) >= self.capacity:
             self.overflow_creations += 1
         if version_id is None:
             version_id = self._next_id
             self._next_id += 1
-        elif version_id in self._versions:
+        elif version_id in self._row_of:
             raise AllocationError(f"version id {version_id} is already live")
         else:
             self._next_id = max(self._next_id, version_id + 1)
-        version = VersionRecord(version_id=version_id, address=address, size=size,
-                                producer=producer)
-        if renamed:
-            version.renamed_address = self.renamer.allocate(size)
-        self._versions[version.version_id] = version
-        self.created += 1
+        renamed_address = self.renamer.allocate(size) if renamed else -1
+        usage = 0
         if producer is not None:
-            version.usage_count += 1
-            self._operand_version[producer] = version.version_id
-        return version
+            usage = 1
+            self.operand_version[producer] = version_id
+        free = self._free_rows
+        if free:
+            row = free.pop()
+            self.vid_col[row] = version_id
+            self.addr_col[row] = address
+            self.size_col[row] = size
+            self.usage_col[row] = usage
+            self.next_col[row] = -1
+            self.renamed_col[row] = renamed_address
+            self.waiting_col[row] = None
+            self.producer_col[row] = producer
+        else:
+            row = len(self.vid_col)
+            self.vid_col.append(version_id)
+            self.addr_col.append(address)
+            self.size_col.append(size)
+            self.usage_col.append(usage)
+            self.next_col.append(-1)
+            self.renamed_col.append(renamed_address)
+            self.waiting_col.append(None)
+            self.producer_col.append(producer)
+        self._row_of[version_id] = row
+        self.created += 1
+        return row
+
+    # -- Row API (used by the OVT module) ------------------------------------
+
+    def row_of(self, version_id: Optional[int]) -> int:
+        """Row of a live version, or -1 if it was already released."""
+        if version_id is None:
+            return -1
+        return self._row_of.get(version_id, -1)
+
+    def release_use_row(self, operand: OperandID) -> int:
+        """Decrement the usage count of the version ``operand`` maps to.
+
+        Returns:
+            The version's row if the decrement drove the count to zero (i.e.
+            the version is now dead and should be released), else ``-1``.
+        """
+        version_id = self.operand_version.pop(operand, None)
+        if version_id is None:
+            return -1
+        row = self._row_of.get(version_id, -1)
+        if row < 0:
+            return -1
+        usage = self.usage_col[row] - 1
+        if usage < 0:
+            raise AllocationError(
+                f"usage count of version {version_id} "
+                f"(@{self.addr_col[row]:#x}) went negative"
+            )
+        self.usage_col[row] = usage
+        return row if usage == 0 else -1
+
+    def remove_row(self, row: int) -> None:
+        """Delete a (dead) version row from the table."""
+        version_id = self.vid_col[row]
+        del self._row_of[version_id]
+        self.vid_col[row] = -1
+        self.waiting_col[row] = None
+        self.producer_col[row] = None
+        self._free_rows.append(row)
+        self.released += 1
+
+    # -- View-based compatibility API ---------------------------------------
+
+    def _view(self, row: int) -> VersionRecord:
+        next_version = self.next_col[row]
+        renamed = self.renamed_col[row]
+        return VersionRecord(
+            version_id=self.vid_col[row], address=self.addr_col[row],
+            size=self.size_col[row], producer=self.producer_col[row],
+            usage_count=self.usage_col[row],
+            renamed_address=None if renamed < 0 else renamed,
+            next_version=None if next_version < 0 else next_version,
+            waiting_inout=self.waiting_col[row],
+        )
 
     def get(self, version_id: int) -> VersionRecord:
-        """Return a live version record.
+        """Return a view of a live version record.
 
         Raises:
             KeyError: if the version does not exist or was already released.
         """
-        return self._versions[version_id]
+        return self._view(self._row_of[version_id])
 
     def find(self, version_id: Optional[int]) -> Optional[VersionRecord]:
-        """Return a live version record, or None if it was already released."""
+        """Return a view of a live version record, or None if released."""
         if version_id is None:
             return None
-        return self._versions.get(version_id)
+        row = self._row_of.get(version_id, -1)
+        return self._view(row) if row >= 0 else None
 
-    def add_user(self, version_id: int, operand: OperandID) -> VersionRecord:
-        """Map a reader operand onto an existing version (usage count + 1)."""
-        version = self._versions[version_id]
-        version.usage_count += 1
-        self._operand_version[operand] = version_id
-        return version
+    def add_user(self, version_id: int, operand: OperandID) -> None:
+        """Map a reader operand onto an existing version (usage count + 1).
+
+        Raises:
+            KeyError: if the version does not exist or was already released.
+        """
+        self.usage_col[self._row_of[version_id]] += 1
+        self.operand_version[operand] = version_id
 
     def version_of(self, operand: OperandID) -> Optional[int]:
         """Version an operand is mapped to, if any."""
-        return self._operand_version.get(operand)
+        return self.operand_version.get(operand)
 
     def release_use(self, operand: OperandID) -> Optional[VersionRecord]:
-        """Decrement the usage count of the version ``operand`` maps to.
-
-        Returns:
-            The version record if the decrement drove the count to zero (i.e.
-            the version is now dead and should be released), else ``None``.
-        """
-        version_id = self._operand_version.pop(operand, None)
-        if version_id is None:
-            return None
-        version = self._versions.get(version_id)
-        if version is None:
-            return None
-        version.usage_count -= 1
-        if version.usage_count < 0:
-            raise AllocationError(
-                f"usage count of version {version_id} (@{version.address:#x}) "
-                "went negative"
-            )
-        if version.usage_count == 0:
-            return version
-        return None
+        """View-based :meth:`release_use_row` (cold paths and tests)."""
+        row = self.release_use_row(operand)
+        return self._view(row) if row >= 0 else None
 
     def remove(self, version_id: int) -> None:
-        """Delete a (dead) version from the table."""
-        if version_id in self._versions:
-            del self._versions[version_id]
-            self.released += 1
+        """Delete a (dead) version from the table by ID."""
+        row = self._row_of.get(version_id, -1)
+        if row >= 0:
+            self.remove_row(row)

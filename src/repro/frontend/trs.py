@@ -25,7 +25,6 @@ The TRS implements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.config import FrontendConfig
@@ -52,91 +51,72 @@ from repro.sim.stats import StatsCollector
 from repro.trace.records import Direction, TaskRecord
 
 
-@dataclass
-class _OperandState:
-    """Tracking state for one operand of an in-flight task."""
+class _TaskEntry:
+    """An in-flight task stored in the TRS (slot-indexed operand table).
 
-    index: int
-    decoded: bool = False
-    is_scalar: bool = False
-    direction: Optional[Direction] = None
-    address: Optional[int] = None
-    ovt_index: Optional[int] = None
-    input_satisfied: bool = False
-    output_satisfied: bool = False
-    #: The data of this operand is available to chained consumers (for a
-    #: reader: it received its input data; for a writer: its task finished).
-    data_available: bool = False
-    chained_consumer: Optional[OperandID] = None
-    forwarded: bool = False
-    rename_address: Optional[int] = None
-    #: Bookkeeping flags for the task entry's O(1) progress counters: set
-    #: once this operand has been subtracted from ``_TaskEntry._undecoded`` /
-    #: ``_TaskEntry._pending`` (see ``_TaskEntry.note_progress``).
-    counted_decoded: bool = False
-    counted_ready: bool = False
+    Per-operand boolean state (decoded / scalar / input half satisfied /
+    output half satisfied / data available to chained consumers / forwarded)
+    is packed into integer bit-vectors, one bit per operand index -- the
+    model's equivalent of the valid/ready bit columns the hardware keeps in
+    each task's blocks.  ``want_mask`` has one bit per operand, so "task
+    fully decoded" is the single compare ``decoded_mask == want_mask`` and
+    "task ready" is ``decoded_mask & input_mask & output_mask == want_mask``;
+    no per-operand scan or counter bookkeeping is needed.  The few non-bool
+    fields (direction, address, OVT index, chained consumer, rename address)
+    live in small parallel per-operand lists.
+    """
+
+    __slots__ = ("task", "record", "main_block", "indirect_blocks",
+                 "alloc_time", "decode_time", "ready_time", "finished",
+                 "want_mask", "decoded_mask", "input_mask", "output_mask",
+                 "avail_mask", "forwarded_mask", "scalar_mask",
+                 "dir_col", "addr_col", "ovt_col", "consumer_col",
+                 "rename_col")
+
+    def __init__(self, task: TaskID, record: Optional[TaskRecord],
+                 main_block: int, indirect_blocks: List[int],
+                 num_operands: int, alloc_time: int):
+        self.task = task
+        self.record = record
+        self.main_block = main_block
+        self.indirect_blocks = indirect_blocks
+        self.alloc_time = alloc_time
+        self.decode_time: Optional[int] = None
+        self.ready_time: Optional[int] = None
+        self.finished = False
+        self.want_mask = (1 << num_operands) - 1
+        self.decoded_mask = 0
+        self.input_mask = 0
+        self.output_mask = 0
+        self.avail_mask = 0
+        self.forwarded_mask = 0
+        self.scalar_mask = 0
+        self.dir_col: List[Optional[Direction]] = [None] * num_operands
+        self.addr_col: List[Optional[int]] = [None] * num_operands
+        self.ovt_col: List[Optional[int]] = [None] * num_operands
+        self.consumer_col: List[Optional[OperandID]] = [None] * num_operands
+        self.rename_col: List[Optional[int]] = [None] * num_operands
 
     @property
-    def ready(self) -> bool:
-        """True once the operand no longer blocks its task."""
-        return self.decoded and self.input_satisfied and self.output_satisfied
-
-
-@dataclass
-class _TaskEntry:
-    """An in-flight task stored in the TRS."""
-
-    task: TaskID
-    record: TaskRecord
-    main_block: int
-    indirect_blocks: List[int]
-    operands: List[_OperandState]
-    alloc_time: int
-    decode_time: Optional[int] = None
-    ready_time: Optional[int] = None
-    finished: bool = False
-    #: Operands not yet decoded / not yet ready.  Maintained incrementally by
-    #: :meth:`note_progress` -- every operand update used to rescan the whole
-    #: operand list, which is quadratic in operand count per task.
-    _undecoded: int = -1
-    _pending: int = -1
-
-    def __post_init__(self) -> None:
-        self._undecoded = len(self.operands)
-        self._pending = len(self.operands)
-
-    def note_progress(self, state: _OperandState) -> None:
-        """Fold one operand's state change into the progress counters."""
-        if state.decoded and not state.counted_decoded:
-            state.counted_decoded = True
-            self._undecoded -= 1
-        if not state.counted_ready and (state.decoded and state.input_satisfied
-                                        and state.output_satisfied):
-            state.counted_ready = True
-            self._pending -= 1
+    def num_operands(self) -> int:
+        return len(self.dir_col)
 
     @property
     def pending_operands(self) -> int:
-        return self._pending
+        """Operands still blocking dispatch (introspection/tests only)."""
+        ready = self.decoded_mask & self.input_mask & self.output_mask
+        return len(self.dir_col) - bin(ready).count("1")
 
     @property
     def undecoded_operands(self) -> int:
-        return self._undecoded
+        """Operands not yet decoded (introspection/tests only)."""
+        return len(self.dir_col) - bin(self.decoded_mask).count("1")
 
 
-@dataclass
-class _RetiredOperand:
-    """Forwarding stub kept after a task's storage is freed.
-
-    A late register-consumer message can still reference an operand of a task
-    that already finished (its version may outlive it while other readers
-    drain).  The hardware resolves this through the version's consumer-chain
-    head in the OVT; the model keeps a small stub recording that the operand's
-    data is available so the chain is never broken.
-    """
-
-    data_available: bool = True
-    chained_consumer: Optional[OperandID] = None
+#: Sentinel distinguishing "operand never existed" from "no chained consumer
+#: yet" in the retired-operand map (whose values are the chained consumer's
+#: OperandID, or None while the chain head is vacant).
+_MISSING = object()
 
 
 class TaskReservationStation(PacketProcessor):
@@ -163,9 +143,28 @@ class TaskReservationStation(PacketProcessor):
         #: completes; used by the pipeline for decode-rate measurement.
         self.on_task_decoded = None
         self._tasks: Dict[int, _TaskEntry] = {}
-        self._retired: Dict[OperandID, _RetiredOperand] = {}
+        #: ``operand -> chained consumer (or None)`` for operands of finished
+        #: tasks; a retired operand's data is by definition available.  A late
+        #: register-consumer message can still reference such an operand (its
+        #: version may outlive the task while other readers drain); the
+        #: hardware resolves this through the version's consumer-chain head in
+        #: the OVT, the model through this map.
+        self._retired: Dict[OperandID, Optional[OperandID]] = {}
+        #: Tasks currently ready but not yet finished (obs probe).
+        self._ready_inflight = 0
         self._next_slot = 0
         self._reported_full = False
+        self._latency = config.message_latency_cycles
+        service = config.module_processing_cycles + config.edram_latency_cycles
+        self._register_packet(AllocRequest, self._handle_alloc, service)
+        self._register_packet(ScalarOperand, self._handle_scalar, service)
+        self._register_packet(OperandInfo, self._handle_operand_info, service)
+        self._register_packet(DataReady, self._handle_data_ready, service)
+        self._register_packet(RegisterConsumer, self._handle_register_consumer,
+                              service)
+        # TaskFinished's service time scales with the operand count; it keeps
+        # going through service_time().
+        self._register_packet(TaskFinished, self._handle_task_finished)
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
@@ -190,6 +189,10 @@ class TaskReservationStation(PacketProcessor):
         if observer is not None:
             self._obs_task = observer.task_handle(self.name)
             self._obs_dep = observer.dep_handle(self.name)
+            observer.add_probe(f"{self.name}.ready_tasks",
+                               lambda: self._ready_inflight)
+            observer.add_probe(f"{self.name}.blocks_used",
+                               lambda: self.storage.used_blocks)
         else:
             self._obs_task = obs_noop
             self._obs_dep = obs_noop
@@ -217,38 +220,23 @@ class TaskReservationStation(PacketProcessor):
     # -- PacketProcessor interface -----------------------------------------------------
 
     def service_time(self, packet) -> int:
-        processing = self.config.module_processing_cycles
-        edram = self.config.edram_latency_cycles
-        if isinstance(packet, AllocRequest):
-            return processing + edram
-        if isinstance(packet, (OperandInfo, ScalarOperand, DataReady, RegisterConsumer)):
-            return processing + edram
+        # Constant-time packets are served through the dispatch table set up
+        # in ``__init__``; only TaskFinished (operand-count-dependent) and
+        # unknown packets reach this method.
         if isinstance(packet, TaskFinished):
             entry = self._tasks.get(packet.task.slot)
             operands = entry.record.num_operands if entry is not None else 1
-            return processing * max(1, operands) + edram
+            return (self.config.module_processing_cycles * max(1, operands)
+                    + self.config.edram_latency_cycles)
         raise ProtocolError(f"{self.name} received unexpected packet {packet!r}")
 
-    def handle(self, packet) -> None:
-        if isinstance(packet, AllocRequest):
-            self._handle_alloc(packet)
-        elif isinstance(packet, ScalarOperand):
-            self._handle_scalar(packet)
-        elif isinstance(packet, OperandInfo):
-            self._handle_operand_info(packet)
-        elif isinstance(packet, DataReady):
-            self._handle_data_ready(packet)
-        elif isinstance(packet, RegisterConsumer):
-            self._handle_register_consumer(packet)
-        elif isinstance(packet, TaskFinished):
-            self._handle_task_finished(packet)
-        else:  # pragma: no cover - guarded by service_time
-            raise ProtocolError(f"{self.name} cannot handle {packet!r}")
+    def handle(self, packet) -> None:  # pragma: no cover - guarded by service_time
+        raise ProtocolError(f"{self.name} cannot handle {packet!r}")
 
     # -- Allocation (Figure 6) ---------------------------------------------------------
 
     def _handle_alloc(self, request: AllocRequest) -> None:
-        latency = self.config.message_latency_cycles
+        latency = self._latency
         if not self.storage.can_allocate(request.num_operands):
             self._reported_full = True
             self._stat_alloc_rejected.value += 1
@@ -263,12 +251,11 @@ class TaskReservationStation(PacketProcessor):
         # The record itself arrives with the operand messages; store a
         # placeholder entry keyed by the slot now so those messages always
         # find their task.  The gateway fills in the record via the reply path.
-        entry = _TaskEntry(task=task, record=None, main_block=main_block,
-                           indirect_blocks=indirect,
-                           operands=[_OperandState(index=i)
-                                     for i in range(request.num_operands)],
-                           alloc_time=self.now)
-        self._tasks[slot] = entry
+        self._tasks[slot] = _TaskEntry(task=task, record=None,
+                                       main_block=main_block,
+                                       indirect_blocks=indirect,
+                                       num_operands=request.num_operands,
+                                       alloc_time=self.now)
         self._stat_tasks_allocated.value += 1
         self.send(self.gateway, AllocReply(trs_index=self.index,
                                            buffer_slot=request.buffer_slot,
@@ -285,106 +272,115 @@ class TaskReservationStation(PacketProcessor):
         if entry is None:
             raise ProtocolError(f"{self.name}: cannot bind record to unknown task {task}")
         entry.record = record
-        if len(entry.operands) != record.num_operands:
+        if len(entry.dir_col) != record.num_operands:
             raise ProtocolError(
-                f"{self.name}: task {task} allocated for {len(entry.operands)} operands "
+                f"{self.name}: task {task} allocated for {len(entry.dir_col)} operands "
                 f"but its record has {record.num_operands}"
             )
 
     # -- Operand decode ------------------------------------------------------------------
 
-    def _operand_state(self, operand: OperandID) -> Optional[_OperandState]:
+    def _entry_for(self, operand: OperandID) -> Optional[_TaskEntry]:
         entry = self._tasks.get(operand.slot)
         if entry is None:
             return None
-        if operand.index >= len(entry.operands):
+        if operand.index >= len(entry.dir_col):
             raise ProtocolError(f"{self.name}: operand index out of range: {operand}")
-        return entry.operands[operand.index]
+        return entry
 
     def _handle_scalar(self, packet: ScalarOperand) -> None:
-        state = self._operand_state(packet.operand)
-        if state is None:
-            raise ProtocolError(f"{self.name}: scalar for unknown task {packet.operand}")
-        state.decoded = True
-        state.is_scalar = True
-        state.input_satisfied = True
-        state.output_satisfied = True
-        state.data_available = True
+        operand = packet.operand
+        entry = self._entry_for(operand)
+        if entry is None:
+            raise ProtocolError(f"{self.name}: scalar for unknown task {operand}")
+        bit = 1 << operand.index
+        entry.decoded_mask |= bit
+        entry.scalar_mask |= bit
+        entry.input_mask |= bit
+        entry.output_mask |= bit
+        entry.avail_mask |= bit
         self._stat_scalar_operands.value += 1
-        self._after_operand_update(packet.operand)
+        self._after_operand_update(entry)
 
     def _handle_operand_info(self, info: OperandInfo) -> None:
-        state = self._operand_state(info.operand)
-        if state is None:
-            raise ProtocolError(f"{self.name}: operand info for unknown task {info.operand}")
-        if state.decoded:
-            raise ProtocolError(f"{self.name}: operand {info.operand} decoded twice")
-        state.decoded = True
-        state.direction = info.direction
-        state.address = info.address
-        state.ovt_index = info.ovt_index
-        if info.direction is Direction.INPUT:
-            state.output_satisfied = True
+        operand = info.operand
+        entry = self._entry_for(operand)
+        if entry is None:
+            raise ProtocolError(f"{self.name}: operand info for unknown task {operand}")
+        index = operand.index
+        bit = 1 << index
+        if entry.decoded_mask & bit:
+            raise ProtocolError(f"{self.name}: operand {operand} decoded twice")
+        entry.decoded_mask |= bit
+        direction = info.direction
+        entry.dir_col[index] = direction
+        entry.addr_col[index] = info.address
+        entry.ovt_col[index] = info.ovt_index
+        if direction is Direction.INPUT:
+            entry.output_mask |= bit
             if info.previous_user is None:
                 # ORT miss: the data already lives in memory.
-                state.input_satisfied = True
-                state.data_available = True
+                entry.input_mask |= bit
+                entry.avail_mask |= bit
             else:
-                self._register_with(info.previous_user, info.operand)
-        elif info.direction is Direction.OUTPUT:
-            state.input_satisfied = True
-            # output_satisfied arrives with the OVT's rename data-ready.
-        elif info.direction is Direction.INOUT:
+                self._register_with(info.previous_user, operand)
+        elif direction is Direction.OUTPUT:
+            entry.input_mask |= bit
+            # output half satisfied with the OVT's rename data-ready.
+        elif direction is Direction.INOUT:
             if info.previous_user is None:
-                state.input_satisfied = True
+                entry.input_mask |= bit
             else:
-                self._register_with(info.previous_user, info.operand)
-            # output_satisfied arrives when the previous version is released.
+                self._register_with(info.previous_user, operand)
+            # output half satisfied when the previous version is released.
         self._stat_operands_decoded.value += 1
-        self._after_operand_update(info.operand)
+        self._after_operand_update(entry)
 
     def _register_with(self, target: OperandID, consumer: OperandID) -> None:
         """Send a register-consumer request to the TRS holding ``target``."""
         self.send(self.trs_list[target.trs],
                   RegisterConsumer(target=target, consumer=consumer),
-                  latency=self.config.message_latency_cycles)
+                  latency=self._latency)
         self._stat_consumer_registrations.value += 1
 
     # -- Consumer chaining (Figure 10) ------------------------------------------------------
 
     def _handle_register_consumer(self, packet: RegisterConsumer) -> None:
-        state = self._operand_state(packet.target)
-        if state is None:
+        target = packet.target
+        entry = self._entry_for(target)
+        if entry is None:
             # The target task already finished and was freed; its data is
             # necessarily available, so complete the chain immediately.
-            stub = self._retired.get(packet.target)
-            if stub is None:
+            existing = self._retired.get(target, _MISSING)
+            if existing is _MISSING:
                 raise ProtocolError(
-                    f"{self.name}: register-consumer for unknown operand {packet.target}"
+                    f"{self.name}: register-consumer for unknown operand {target}"
                 )
-            if stub.chained_consumer is not None:
+            if existing is not None:
                 raise ProtocolError(
-                    f"{self.name}: operand {packet.target} already has a chained consumer"
+                    f"{self.name}: operand {target} already has a chained consumer"
                 )
-            stub.chained_consumer = packet.consumer
-            self._forward_ready(packet.target, packet.consumer)
+            self._retired[target] = packet.consumer
+            self._forward_ready(target, packet.consumer)
             return
-        if state.chained_consumer is not None:
+        index = target.index
+        existing = entry.consumer_col[index]
+        if existing is not None:
             raise ProtocolError(
-                f"{self.name}: operand {packet.target} already has a chained consumer "
-                f"({state.chained_consumer}); the ORT should chain new consumers "
+                f"{self.name}: operand {target} already has a chained consumer "
+                f"({existing}); the ORT should chain new consumers "
                 "after the most recent user"
             )
-        state.chained_consumer = packet.consumer
-        if state.data_available:
-            state.forwarded = True
-            self._forward_ready(packet.target, packet.consumer)
+        entry.consumer_col[index] = packet.consumer
+        if entry.avail_mask & (1 << index):
+            entry.forwarded_mask |= 1 << index
+            self._forward_ready(target, packet.consumer)
 
     def _forward_ready(self, source: OperandID, consumer: OperandID) -> None:
         """Forward a data-ready message along the consumer chain."""
         self.send(self.trs_list[consumer.trs],
                   DataReady(operand=consumer, kind=ReadyKind.INPUT_DATA),
-                  latency=self.config.message_latency_cycles)
+                  latency=self._latency)
         self._stat_ready_forwarded.value += 1
         self._obs_dep(self.now, (consumer.trs << 32) | consumer.slot,
                       (source.trs << 32) | source.slot)
@@ -392,58 +388,63 @@ class TaskReservationStation(PacketProcessor):
     # -- Data-ready handling ----------------------------------------------------------------
 
     def _handle_data_ready(self, packet: DataReady) -> None:
-        state = self._operand_state(packet.operand)
-        if state is None:
+        operand = packet.operand
+        entry = self._entry_for(operand)
+        if entry is None:
             # The owning task finished before this message arrived.  This can
             # only happen for OUTPUT_BUFFER messages racing a chain forward
             # (the task cannot have dispatched without all its ready halves),
             # so it indicates a protocol bug -- fail loudly.
             raise ProtocolError(
-                f"{self.name}: data-ready for retired operand {packet.operand}"
+                f"{self.name}: data-ready for retired operand {operand}"
             )
-        if not state.decoded:
+        index = operand.index
+        bit = 1 << index
+        if not (entry.decoded_mask & bit):
             raise ProtocolError(
-                f"{self.name}: data-ready for operand {packet.operand} before its "
+                f"{self.name}: data-ready for operand {operand} before its "
                 "operand-info message"
             )
-        if packet.kind in (ReadyKind.INPUT_DATA, ReadyKind.FULL):
-            state.input_satisfied = True
+        kind = packet.kind
+        if kind is ReadyKind.INPUT_DATA or kind is ReadyKind.FULL:
+            entry.input_mask |= bit
             # Readers forward along the chain as soon as their data arrives --
             # the version's data exists, so further readers may proceed.
             # Writers (output/inout) must NOT be treated as forwardable yet:
             # their consumers wait for the data the *writer* will produce,
             # which only exists once the writer's task finishes.
-            if state.direction is Direction.INPUT:
-                state.data_available = True
-                if state.chained_consumer is not None and not state.forwarded:
-                    state.forwarded = True
-                    self._forward_ready(packet.operand, state.chained_consumer)
-        if packet.kind in (ReadyKind.OUTPUT_BUFFER, ReadyKind.FULL):
-            state.output_satisfied = True
+            if entry.dir_col[index] is Direction.INPUT:
+                entry.avail_mask |= bit
+                consumer = entry.consumer_col[index]
+                if consumer is not None and not (entry.forwarded_mask & bit):
+                    entry.forwarded_mask |= bit
+                    self._forward_ready(operand, consumer)
+        if kind is ReadyKind.OUTPUT_BUFFER or kind is ReadyKind.FULL:
+            entry.output_mask |= bit
             if packet.rename_address is not None:
-                state.rename_address = packet.rename_address
+                entry.rename_col[index] = packet.rename_address
         self._stat_data_ready.value += 1
-        self._after_operand_update(packet.operand)
+        self._after_operand_update(entry)
 
     # -- Readiness and dispatch ---------------------------------------------------------------
 
-    def _after_operand_update(self, operand: OperandID) -> None:
-        entry = self._tasks.get(operand.slot)
-        if entry is None:
-            return
-        entry.note_progress(entry.operands[operand.index])
-        if entry.decode_time is None and entry.undecoded_operands == 0:
+    def _after_operand_update(self, entry: _TaskEntry) -> None:
+        want = entry.want_mask
+        if entry.decode_time is None and entry.decoded_mask == want:
             entry.decode_time = self.now
             self._stat_tasks_decoded.value += 1
             self._obs_task(EV_TASK_DECODED, self.now, entry.record.sequence)
             if self.on_task_decoded is not None:
                 self.on_task_decoded(entry.task, entry.record, self.now)
-        if entry.ready_time is None and entry.pending_operands == 0:
+        if (entry.ready_time is None
+                and (entry.decoded_mask & entry.input_mask
+                     & entry.output_mask) == want):
             entry.ready_time = self.now
             self._stat_tasks_ready.value += 1
+            self._ready_inflight += 1
             self._obs_task(EV_TASK_READY, self.now, entry.record.sequence)
             self.send(self.ready_queue, TaskReady(task=entry.task, record=entry.record),
-                      latency=self.config.message_latency_cycles)
+                      latency=self._latency)
 
     # -- Completion path -----------------------------------------------------------------------
 
@@ -454,27 +455,46 @@ class TaskReservationStation(PacketProcessor):
         if entry.ready_time is None:
             raise ProtocolError(f"{self.name}: task {packet.task} finished before ready")
         entry.finished = True
-        latency = self.config.message_latency_cycles
-        for state in entry.operands:
-            operand_id = entry.task.operand(state.index)
-            if not state.is_scalar and state.ovt_index is not None:
-                self.send(self.ovts[state.ovt_index],
-                          VersionRelease(operand=operand_id, address=state.address),
+        latency = self._latency
+        task = entry.task
+        trs_index = self.index
+        dir_col = entry.dir_col
+        addr_col = entry.addr_col
+        ovt_col = entry.ovt_col
+        consumer_col = entry.consumer_col
+        ovts = self.ovts
+        retired = self._retired
+        forwarded = entry.forwarded_mask
+        chain_len = 0
+        # Single pass over the operand columns: release the version of every
+        # non-scalar operand, publish the written data to chained consumers,
+        # and record the chain heads for late register-consumer messages.
+        # Message order (per operand: version release, then writer forward)
+        # matches the hardware's walk over the task's operand blocks.
+        for index in range(len(dir_col)):
+            operand_id = OperandID(trs_index, task.slot, index)
+            ovt_index = ovt_col[index]
+            if ovt_index is not None:
+                # Scalars never acquire an OVT index, so this also skips them.
+                self.send(ovts[ovt_index],
+                          VersionRelease(operand=operand_id,
+                                         address=addr_col[index]),
                           latency=latency)
-            if state.direction in (Direction.OUTPUT, Direction.INOUT):
-                state.data_available = True
-                if state.chained_consumer is not None and not state.forwarded:
-                    state.forwarded = True
-                    self._forward_ready(operand_id, state.chained_consumer)
-            # Keep a forwarding stub for late register-consumer messages.
-            self._retired[operand_id] = _RetiredOperand(
-                data_available=True,
-                chained_consumer=state.chained_consumer,
-            )
-        chain_len = sum(1 for state in entry.operands if state.chained_consumer is not None)
+            consumer = consumer_col[index]
+            direction = dir_col[index]
+            if direction is Direction.OUTPUT or direction is Direction.INOUT:
+                entry.avail_mask |= 1 << index
+                if consumer is not None and not (forwarded & (1 << index)):
+                    forwarded |= 1 << index
+                    self._forward_ready(operand_id, consumer)
+            if consumer is not None:
+                chain_len += 1
+            retired[operand_id] = consumer
+        entry.forwarded_mask = forwarded
         self._stat_chain_forwards.add(chain_len)
         self.storage.free(entry.main_block, entry.indirect_blocks)
         del self._tasks[packet.task.slot]
+        self._ready_inflight -= 1
         self._stat_tasks_finished.value += 1
         self._obs_task(EV_TASK_FREED, self.now, entry.record.sequence)
         if self._reported_full:

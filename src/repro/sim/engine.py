@@ -3,19 +3,26 @@
 The engine is deliberately minimal and fast.  Every event carries a
 ``(time, sequence)`` key; the sequence number gives a deterministic FIFO
 order to events scheduled for the same cycle, which keeps every simulation
-fully reproducible.  Three hot-path refinements (all invisible to the event
+fully reproducible.  The hot-path representation (all invisible to the event
 ordering, which stays exactly global ``(time, seq)``):
 
-* heap entries are plain ``(time, seq, event)`` tuples, so ``heapq``
-  comparisons are C-level integer compares instead of Python ``__lt__``
-  calls;
-* zero-delay ``schedule(0, ...)`` calls -- the dominant pattern on the
-  zero-latency module links -- bypass the heap entirely through a same-cycle
-  FIFO micro-queue (append/popleft instead of two O(log n) heap operations);
+* queued events are plain ``(time, seq, ref, callback, args)`` tuples, so
+  ``heapq`` comparisons are C-level integer compares (``seq`` is unique, so
+  a comparison never reaches the third element) and dispatching an event is
+  two tuple indexations plus the callback -- no event-object attribute
+  traffic at all;
 * events scheduled through :meth:`Engine.schedule_unref` (the
   :class:`repro.sim.module.SimModule` fast path, for callers that never
-  cancel) are recycled through a free-list, so steady-state simulation
-  allocates no event objects at all.
+  cancel) carry ``ref=None``: the run loop skips the cancellation test for
+  them with a single identity compare, and nothing is ever allocated beyond
+  the entry tuple itself;
+* cancellable events (:meth:`Engine.schedule` / :meth:`Engine.schedule_at`)
+  carry a small :class:`Event` handle as ``ref``; cancellation stays lazy --
+  the entry remains queued and is skipped (without counting towards
+  ``events_processed``) when popped;
+* zero-delay ``schedule(0, ...)`` calls -- the dominant pattern on the
+  zero-latency module links -- bypass the heap entirely through a same-cycle
+  FIFO micro-queue (append/cursor instead of two O(log n) heap operations).
 
 Typical use::
 
@@ -36,6 +43,11 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import ReproError
 
+#: A queued event: ``(time, seq, ref, callback, args)``.  ``ref`` is None for
+#: the never-cancelled fast path, or the :class:`Event` handle returned to the
+#: caller of :meth:`Engine.schedule`.
+_Entry = Tuple[int, int, Optional["Event"], Callable[..., None], Tuple[Any, ...]]
+
 
 class SimulationLimitExceeded(ReproError):
     """Raised when a run exceeds its event or time budget.
@@ -47,24 +59,20 @@ class SimulationLimitExceeded(ReproError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
-    Events are returned by :meth:`Engine.schedule` so callers can cancel them.
-    Cancellation is lazy: the event stays in its queue but is skipped when it
-    is popped.  Events created by :meth:`Engine.schedule_unref` are never
-    exposed to callers, which is what makes them safe to recycle.
+    Returned by :meth:`Engine.schedule` / :meth:`Engine.schedule_at` so
+    callers can cancel.  Cancellation is lazy: the queued entry stays in its
+    queue but is skipped when it is popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "recyclable")
+    __slots__ = ("time", "seq", "callback", "cancelled")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None],
-                 args: Tuple[Any, ...]):
+    def __init__(self, time: int, seq: int, callback: Callable[..., None]):
         self.time = time
         self.seq = seq
         self.callback = callback
-        self.args = args
         self.cancelled = False
-        self.recyclable = False
 
     def cancel(self) -> None:
         """Prevent the event's callback from running."""
@@ -77,11 +85,12 @@ class Event:
 
 
 class Engine:
-    """Discrete-event simulation engine with an integer-cycle clock."""
+    """Discrete-event simulation engine with an integer-cycle clock.
 
-    #: Upper bound on the event free-list (far above the in-flight event
-    #: count of any realistic configuration; merely caps pathological growth).
-    _FREE_LIST_MAX = 4096
+    The current time is exposed as the plain attribute :attr:`now` (written
+    only by the run loop); reading it costs a single attribute load, which
+    matters because every module timestamp on the packet hot path reads it.
+    """
 
     def __init__(self, max_events: Optional[int] = None,
                  max_time: Optional[int] = None):
@@ -92,18 +101,18 @@ class Engine:
                 a single :meth:`run` call (guards against livelock in tests).
             max_time: Optional hard cap on the simulated time.
         """
-        #: Heap of (time, seq, Event); seq values are unique, so comparisons
-        #: never reach the Event element.
-        self._heap: List[Tuple[int, int, Event]] = []
+        #: Heap of entry tuples; seq values are unique, so comparisons never
+        #: reach the non-integer elements.
+        self._heap: List[_Entry] = []
         #: Same-cycle FIFO: events scheduled with delay 0 for the current
         #: cycle, in seq order (they all carry time == the cycle they were
         #: scheduled in, and are always drained before the clock advances).
-        self._ready: List[Event] = []
+        self._ready: List[_Entry] = []
         #: Read cursor into ``_ready`` (append-and-cursor beats deque here:
         #: the list is reset whenever it drains, which is every cycle).
         self._ready_pos: int = 0
-        self._free: List[Event] = []
-        self._now: int = 0
+        #: Current simulated time in cycles (read-only for callers).
+        self.now: int = 0
         self._seq: int = 0
         self._events_processed: int = 0
         self.max_events = max_events
@@ -128,11 +137,6 @@ class Engine:
     # -- Clock ---------------------------------------------------------------
 
     @property
-    def now(self) -> int:
-        """Current simulated time in cycles."""
-        return self._now
-
-    @property
     def events_processed(self) -> int:
         """Total number of events executed so far."""
         return self._events_processed
@@ -149,57 +153,52 @@ class Engine:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         delay = int(delay)
-        event = Event(self._now + delay, self._seq, callback, args)
+        time = self.now + delay
+        event = Event(time, self._seq, callback)
+        entry = (time, event.seq, event, callback, args)
         self._seq += 1
         if delay == 0:
-            self._ready.append(event)
+            self._ready.append(entry)
         else:
-            heapq.heappush(self._heap, (event.time, event.seq, event))
+            heapq.heappush(self._heap, entry)
         return event
 
     def schedule_at(self, time: int, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise ValueError(
-                f"cannot schedule into the past (time={time}, now={self._now})"
+                f"cannot schedule into the past (time={time}, now={self.now})"
             )
-        event = Event(int(time), self._seq, callback, args)
+        time = int(time)
+        event = Event(time, self._seq, callback)
+        heapq.heappush(self._heap, (time, event.seq, event, callback, args))
         self._seq += 1
-        heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
     def schedule_unref(self, delay: int, callback: Callable[..., None],
                        *args: Any) -> None:
         """Hot-path scheduling for callers that never cancel.
 
-        Identical ordering semantics to :meth:`schedule`, but the event is not
-        returned -- no reference escapes, so the engine recycles the event
-        object through a free-list after it runs.  :class:`SimModule.send`
-        and :class:`SimModule.schedule` route through here.
+        Identical ordering semantics to :meth:`schedule`, but no handle is
+        returned and none is allocated: the queued entry is a single tuple,
+        and the run loop skips the cancellation test for it.
+        :class:`SimModule.send` and :class:`SimModule.schedule` route through
+        here.
         """
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        delay = int(delay)
-        free = self._free
-        if free:
-            event = free.pop()
-            event.time = self._now + delay
-            event.callback = callback
-            event.args = args
-        else:
-            event = Event(self._now + delay, self._seq, callback, args)
-            event.recyclable = True
-        event.seq = self._seq
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
         if delay == 0:
-            self._ready.append(event)
+            self._ready.append((self.now, seq, None, callback, args))
+        elif delay > 0:
+            heapq.heappush(self._heap,
+                           (self.now + int(delay), seq, None, callback, args))
         else:
-            heapq.heappush(self._heap, (event.time, event.seq, event))
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
 
     # -- Execution ---------------------------------------------------------------
 
-    def _next_event(self) -> Optional[Tuple[Event, bool]]:
-        """Peek the globally next event: ``(event, from_ready)`` or None.
+    def _next_entry(self) -> Optional[Tuple[_Entry, bool]]:
+        """Peek the globally next event: ``(entry, from_ready)`` or None.
 
         The next event is the one with the smallest ``(time, seq)`` across
         the micro-queue and the heap (micro-queue events always carry the
@@ -208,14 +207,14 @@ class Engine:
         ready = self._ready
         pos = self._ready_pos
         if pos < len(ready):
-            event = ready[pos]
+            entry = ready[pos]
             if self._heap:
-                time, seq, _ = self._heap[0]
-                if time < event.time or (time == event.time and seq < event.seq):
-                    return self._heap[0][2], False
-            return event, True
+                head = self._heap[0]
+                if head[0] < entry[0] or (head[0] == entry[0] and head[1] < entry[1]):
+                    return head, False
+            return entry, True
         if self._heap:
-            return self._heap[0][2], False
+            return self._heap[0], False
         return None
 
     def _pop(self, from_ready: bool) -> None:
@@ -234,27 +233,26 @@ class Engine:
             ``True`` if an event was executed, ``False`` if nothing is queued.
         """
         while True:
-            head = self._next_event()
+            head = self._next_entry()
             if head is None:
                 return False
-            event, from_ready = head
+            entry, from_ready = head
             self._pop(from_ready)
-            if event.cancelled:
+            ref = entry[2]
+            if ref is not None and ref.cancelled:
                 continue
+            time = entry[0]
             advance = self.on_advance
             # Wake test first: it is a plain int compare and false for
             # nearly every event between samples.  The clamp keeps the
             # ``wake > now`` invariant :meth:`run` relies on.
-            if (advance is not None and event.time >= self._advance_wake
-                    and event.time > self._now):
-                wake = advance(event.time)
-                self._advance_wake = wake if wake > event.time else event.time + 1
-            self._now = event.time
+            if (advance is not None and time >= self._advance_wake
+                    and time > self.now):
+                wake = advance(time)
+                self._advance_wake = wake if wake > time else time + 1
+            self.now = time
             self._events_processed += 1
-            event.callback(*event.args)
-            if event.recyclable and len(self._free) < self._FREE_LIST_MAX:
-                event.callback = event.args = None
-                self._free.append(event)
+            entry[3](*entry[4])
             return True
 
     def run(self, until: Optional[int] = None) -> int:
@@ -276,83 +274,87 @@ class Engine:
         heap = self._heap
         ready = self._ready
         heappop = heapq.heappop
-        free = self._free
-        free_max = self._FREE_LIST_MAX
         max_events = self.max_events
         max_time = self.max_time
         advance = self.on_advance
         advance_wake = self._advance_wake
-        if advance is not None and advance_wake <= self._now:
+        events_processed = self._events_processed
+        if advance is not None and advance_wake <= self.now:
             # Establish the loop invariant ``wake > now``: with it (and the
             # clamp at the fire site below), ``event.time >= wake`` alone
             # implies a strictly later cycle, so the hot loop needs only one
             # integer compare per event to skip the hook.
-            advance_wake = self._advance_wake = self._now + 1
+            advance_wake = self._advance_wake = self.now + 1
         bounded = not (max_events is None and max_time is None and until is None)
-        while True:
-            pos = self._ready_pos
-            if pos < len(ready):
-                event = ready[pos]
-                from_ready = True
-                if heap:
+        try:
+            while True:
+                pos = self._ready_pos
+                if pos < len(ready):
+                    entry = ready[pos]
+                    from_ready = True
+                    if heap:
+                        head = heap[0]
+                        # The heap head beats the micro-queue head only when
+                        # it was scheduled earlier for this same cycle.
+                        if head[0] < entry[0] or (head[0] == entry[0]
+                                                  and head[1] < entry[1]):
+                            entry = head
+                            from_ready = False
+                elif heap:
                     entry = heap[0]
-                    # The heap head beats the micro-queue head only when it
-                    # was scheduled earlier for this same cycle.
-                    if entry[0] < event.time or (entry[0] == event.time
-                                                 and entry[1] < event.seq):
-                        event = entry[2]
-                        from_ready = False
-            elif heap:
-                event = heap[0][2]
-                from_ready = False
-            else:
-                break
-            if bounded:
-                time = event.time
-                if until is not None and time > until:
-                    break
-                if max_time is not None and time > max_time:
-                    raise SimulationLimitExceeded(
-                        f"simulated time exceeded max_time={max_time}"
-                    )
-            if from_ready:
-                pos += 1
-                if pos >= len(ready):
-                    ready.clear()
-                    self._ready_pos = 0
+                    from_ready = False
                 else:
-                    self._ready_pos = pos
-            else:
-                heappop(heap)
-            if event.cancelled:
-                continue
-            # ``wake > now`` holds throughout (established above, preserved
-            # by the clamp), so this single compare also certifies a strict
-            # clock advance.
-            if advance is not None and event.time >= advance_wake:
-                wake = advance(event.time)
-                if wake <= event.time:
-                    wake = event.time + 1
-                advance_wake = self._advance_wake = wake
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            if event.recyclable and len(free) < free_max:
-                event.callback = event.args = None
-                free.append(event)
-            if max_events is not None and self._events_processed > max_events:
-                raise SimulationLimitExceeded(
-                    f"event count exceeded max_events={max_events}"
-                )
+                    break
+                time = entry[0]
+                if bounded:
+                    if until is not None and time > until:
+                        break
+                    if max_time is not None and time > max_time:
+                        raise SimulationLimitExceeded(
+                            f"simulated time exceeded max_time={max_time}"
+                        )
+                if from_ready:
+                    pos += 1
+                    if pos >= len(ready):
+                        ready.clear()
+                        self._ready_pos = 0
+                    else:
+                        self._ready_pos = pos
+                else:
+                    heappop(heap)
+                ref = entry[2]
+                if ref is not None and ref.cancelled:
+                    continue
+                # ``wake > now`` holds throughout (established above,
+                # preserved by the clamp), so this single compare also
+                # certifies a strict clock advance.
+                if advance is not None and time >= advance_wake:
+                    wake = advance(time)
+                    if wake <= time:
+                        wake = time + 1
+                    advance_wake = self._advance_wake = wake
+                self.now = time
+                events_processed += 1
+                entry[3](*entry[4])
+                if bounded and max_events is not None:
+                    # Flush so callbacks and the error path see a live count.
+                    self._events_processed = events_processed
+                    if events_processed > max_events:
+                        raise SimulationLimitExceeded(
+                            f"event count exceeded max_events={max_events}"
+                        )
+        finally:
+            self._events_processed = events_processed
         # Advance the clock to `until` on every exit path (events drained or
         # next event beyond `until`) so run(until=...) always leaves
         # now == until when time was requested.
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
 
     def drain_idle(self) -> bool:
         """Return True if nothing further can happen (queues empty or all cancelled)."""
-        return (all(entry[2].cancelled for entry in self._heap)
-                and all(event.cancelled
-                        for event in self._ready[self._ready_pos:]))
+        return (all(entry[2] is not None and entry[2].cancelled
+                    for entry in self._heap)
+                and all(entry[2] is not None and entry[2].cancelled
+                        for entry in self._ready[self._ready_pos:]))

@@ -24,6 +24,7 @@ reassigned, so late collector injection keeps working).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Deque, Optional, Tuple
 
 from repro.sim.engine import Engine
@@ -46,6 +47,10 @@ class SimModule:
                  stats: Optional[StatsCollector] = None):
         self.engine = engine
         self.name = name
+        #: Pre-bound engine scheduling method: ``send``/``schedule`` and the
+        #: packet service path run once per event, so the bound-method
+        #: creation is paid here instead of per call.
+        self._schedule_unref = engine.schedule_unref
         self._stats = stats if stats is not None else StatsCollector()
         self._observer = None
         self._bind_stat_handles()
@@ -101,15 +106,29 @@ class SimModule:
         Routed through the engine's no-reference fast path: module-scheduled
         callbacks are never cancelled, so the engine may recycle the event.
         """
-        self.engine.schedule_unref(delay, callback, *args)
+        self._schedule_unref(delay, callback, *args)
 
     def send(self, destination: "PacketProcessor", packet: Any, latency: int = 0) -> None:
         """Deliver ``packet`` to ``destination`` after a transport latency.
 
         A zero-latency send goes through the engine's same-cycle micro-queue
         (no heap traffic); either way the delivery event is recyclable.
+
+        The entry construction is :meth:`Engine.schedule_unref` inlined --
+        one delivery per protocol message makes the call overhead itself
+        measurable on the simulator's hot path.
         """
-        self.engine.schedule_unref(latency, destination.receive, packet)
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        if latency > 0:
+            heappush(engine._heap, (engine.now + latency, seq, None,
+                                    destination.receive, (packet,)))
+        elif latency == 0:
+            engine._ready.append((engine.now, seq, None,
+                                  destination.receive, (packet,)))
+        else:
+            raise ValueError(f"cannot schedule into the past (delay={latency})")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
@@ -139,6 +158,28 @@ class PacketProcessor(SimModule):
         self._stalled = False
         self._busy_since: int = 0
         self._busy_cycles: int = 0
+        #: Packet-type dispatch table (see :meth:`_register_packet`):
+        #: ``{type: (constant service time or None, handler)}``.  One dict
+        #: probe resolves both halves of a packet's processing; a type absent
+        #: from the table falls back to the :meth:`service_time` /
+        #: :meth:`handle` methods.
+        self._dispatch: dict = {}
+        #: True while :meth:`can_start` is not overridden, letting
+        #: :meth:`receive` skip the admission hook entirely.
+        self._can_start_default = type(self).can_start is PacketProcessor.can_start
+
+    def _register_packet(self, packet_type: type,
+                         handler: Callable[[Any], None],
+                         service: Optional[int] = None) -> None:
+        """Register the dispatch entry for one packet type.
+
+        ``service`` is the packet type's constant service time in cycles;
+        pass None for types whose service time depends on the packet (they
+        keep going through :meth:`service_time`).
+        """
+        if service is not None and service < 0:
+            raise ValueError(f"{self.name}: negative service time {service}")
+        self._dispatch[packet_type] = (service, handler)
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
@@ -154,18 +195,59 @@ class PacketProcessor(SimModule):
         if observer is not None and observer.config.module_spans:
             self._obs_service = observer.service_handle(self.name)
         else:
-            self._obs_service = obs_noop
+            # None (not a noop callable): the per-packet service path
+            # branches on it instead of paying an empty call.
+            self._obs_service = None
         self._obs_stall = (observer.stall_handle(self.name)
                            if observer is not None else obs_noop)
 
     # -- Public interface ---------------------------------------------------
 
     def receive(self, packet: Any) -> None:
-        """Enqueue a packet for processing."""
-        self._input_queue.append(packet)
+        """Enqueue a packet for processing.
+
+        The common case -- the module is idle, unstalled and its queue is
+        empty -- goes straight into service without touching the queue:
+        service-time lookup, busy bookkeeping and the completion event are
+        issued inline (identical timing and ordering to the queued path).
+        """
         self._stat_packets_received.value += 1
-        if not (self._busy or self._stalled):
-            self._try_start()
+        if self._busy or self._stalled or self._input_queue:
+            self._input_queue.append(packet)
+            if not (self._busy or self._stalled):
+                self._try_start()
+            return
+        if not (self._can_start_default or self.can_start(packet)):
+            self._input_queue.append(packet)
+            return
+        self._busy = True
+        now = self.engine.now
+        self._busy_since = now
+        entry = self._dispatch.get(type(packet))
+        if entry is None:
+            duration = self.service_time(packet)
+            if duration < 0:
+                raise ValueError(f"{self.name}: negative service time {duration}")
+            handler = None
+        else:
+            duration, handler = entry
+            if duration is None:
+                duration = self.service_time(packet)
+                if duration < 0:
+                    raise ValueError(f"{self.name}: negative service time {duration}")
+        obs = self._obs_service
+        if obs is not None:
+            obs(now, packet, duration)
+        # Engine.schedule_unref inlined (one completion event per packet).
+        engine = self.engine
+        seq = engine._seq
+        engine._seq = seq + 1
+        if duration:
+            heappush(engine._heap, (now + duration, seq, None,
+                                    self._finish, (packet, duration, handler)))
+        else:
+            engine._ready.append((now, seq, None,
+                                  self._finish, (packet, duration, handler)))
 
     @property
     def queue_length(self) -> int:
@@ -258,16 +340,31 @@ class PacketProcessor(SimModule):
         self._input_queue.popleft()
         self._busy = True
         self._busy_since = self.engine.now
-        duration = self.service_time(packet)
-        if duration < 0:
-            raise ValueError(f"{self.name}: negative service time {duration}")
-        self._obs_service(self._busy_since, packet, duration)
-        self.engine.schedule_unref(duration, self._finish, packet, duration)
+        entry = self._dispatch.get(type(packet))
+        if entry is None:
+            duration = self.service_time(packet)
+            if duration < 0:
+                raise ValueError(f"{self.name}: negative service time {duration}")
+            handler = None
+        else:
+            duration, handler = entry
+            if duration is None:
+                duration = self.service_time(packet)
+                if duration < 0:
+                    raise ValueError(f"{self.name}: negative service time {duration}")
+        obs = self._obs_service
+        if obs is not None:
+            obs(self._busy_since, packet, duration)
+        self._schedule_unref(duration, self._finish, packet, duration, handler)
 
-    def _finish(self, packet: Any, duration: int) -> None:
+    def _finish(self, packet: Any, duration: int,
+                handler: Optional[Callable[[Any], None]] = None) -> None:
         self._busy = False
         self._busy_cycles += duration
         self._stat_packets_processed.value += 1
-        self.handle(packet)
+        if handler is None:
+            self.handle(packet)
+        else:
+            handler(packet)
         if self._input_queue and not self._stalled:
             self._try_start()

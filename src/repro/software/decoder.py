@@ -17,8 +17,8 @@ execution -- matching StarSs behaviour).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Set
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.common.config import SoftwareRuntimeConfig
 from repro.common.units import ns_to_cycles
@@ -45,7 +45,7 @@ class SoftwareDecoder(SimModule):
         self.config = config
         self.clock_ghz = clock_ghz
         self.on_ready = on_ready
-        self._decode_queue: List[TaskRecord] = []
+        self._decode_queue: Deque[TaskRecord] = deque()
         self._decoding = False
         #: Dependency bookkeeping (software hash tables).
         self._last_writer: Dict[int, int] = {}
@@ -102,7 +102,7 @@ class SoftwareDecoder(SimModule):
         self.schedule(self._decode_cost_cycles(record), self._finish_decode)
 
     def _finish_decode(self) -> None:
-        record = self._decode_queue.pop(0)
+        record = self._decode_queue.popleft()
         self._decoding = False
         sequence = record.sequence
         self._records[sequence] = record

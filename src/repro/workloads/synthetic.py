@@ -48,7 +48,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import WorkloadError
 from repro.common.units import KB, us_to_cycles
@@ -217,7 +218,7 @@ class SyntheticWorkload(Workload):
         return builder.add_task(self._profile, ops,
                                 runtime_cycles=self.runtime.sample_cycles(builder.rng))
 
-    def _output_object(self, builder: TraceBuilder, pool: List[MemoryObject],
+    def _output_object(self, builder: TraceBuilder, pool: Deque[MemoryObject],
                        label: str) -> MemoryObject:
         """Allocate a task's output, honouring the ``object_reuse`` knob.
 
@@ -228,11 +229,13 @@ class SyntheticWorkload(Workload):
         reasonably recent.
         """
         if pool and builder.rng.random() < self.object_reuse:
+            # ``rng.choice`` draws ``len + getitem``, identical for a deque,
+            # so traces are bit-identical to the previous list-backed pool.
             return builder.rng.choice(pool)
         obj = builder.alloc(self.block_bytes, name=label)
         pool.append(obj)
         if len(pool) > 4 * self.width:
-            pool.pop(0)
+            pool.popleft()
         return obj
 
     def _reduce_tree(self, builder: TraceBuilder, blocks: List[MemoryObject],
@@ -324,7 +327,7 @@ class LayeredWorkload(SyntheticWorkload):
         layers = self.depth * scale
         seed_obj = builder.alloc(self.block_bytes, name="seed")
         previous = [seed_obj] * self.width
-        pool: List[MemoryObject] = []
+        pool: Deque[MemoryObject] = deque()
         recent: List[MemoryObject] = []
         for layer in range(layers):
             current: List[MemoryObject] = []
@@ -468,7 +471,7 @@ class RandomDagWorkload(SyntheticWorkload):
         total = self.width * self.depth * scale
         seed_obj = builder.alloc(self.block_bytes, name="seed")
         outputs: List[MemoryObject] = []
-        pool: List[MemoryObject] = []
+        pool: Deque[MemoryObject] = deque()
         recent: List[MemoryObject] = []
         for i in range(total):
             ops: List[Tuple[MemoryObject, Direction]] = []

@@ -151,27 +151,31 @@ class TestVersionTable:
     def test_writer_version_lifecycle(self):
         table = VersionTable(capacity=16)
         producer = OperandID(0, 0, 0)
-        version = table.create(0x1000, 64, producer=producer, renamed=True)
+        row = table.create(0x1000, 64, producer=producer, renamed=True)
+        version_id = table.vid_col[row]
+        version = table.get(version_id)
         assert version.usage_count == 1
         assert version.renamed_address is not None
-        assert table.version_of(producer) == version.version_id
+        assert table.version_of(producer) == version_id
         dead = table.release_use(producer)
-        assert dead is version
-        table.remove(version.version_id)
+        assert dead is not None and dead.version_id == version_id
+        table.remove(version_id)
         assert table.live_versions == 0
 
     def test_reader_usage_counting(self):
         table = VersionTable(capacity=16)
         producer = OperandID(0, 0, 0)
-        version = table.create(0x1000, 64, producer=producer, renamed=False)
+        row = table.create(0x1000, 64, producer=producer, renamed=False)
+        version_id = table.vid_col[row]
         readers = [OperandID(0, i + 1, 0) for i in range(3)]
         for reader in readers:
-            table.add_user(version.version_id, reader)
-        assert version.usage_count == 4
+            table.add_user(version_id, reader)
+        assert table.usage_col[row] == 4
         assert table.release_use(producer) is None
         assert table.release_use(readers[0]) is None
         assert table.release_use(readers[1]) is None
-        assert table.release_use(readers[2]) is version
+        dead = table.release_use(readers[2])
+        assert dead is not None and dead.version_id == version_id
 
     def test_release_unknown_operand_is_noop(self):
         table = VersionTable(capacity=4)
@@ -179,10 +183,11 @@ class TestVersionTable:
 
     def test_external_version_ids(self):
         table = VersionTable(capacity=4)
-        version = table.create(0x1000, 64, producer=OperandID(0, 0, 0), renamed=False,
-                               version_id=42)
-        assert version.version_id == 42
-        assert table.find(42) is version
+        row = table.create(0x1000, 64, producer=OperandID(0, 0, 0), renamed=False,
+                           version_id=42)
+        assert table.vid_col[row] == 42
+        found = table.find(42)
+        assert found is not None and found.version_id == 42
         with pytest.raises(AllocationError):
             table.create(0x2000, 64, producer=None, renamed=False, version_id=42)
 
@@ -197,8 +202,9 @@ class TestVersionTable:
     def test_negative_usage_detected(self):
         table = VersionTable(capacity=4)
         producer = OperandID(0, 0, 0)
-        version = table.create(0x1000, 64, producer=producer, renamed=False)
-        assert table.release_use(producer) is version
+        row = table.create(0x1000, 64, producer=producer, renamed=False)
+        dead = table.release_use(producer)
+        assert dead is not None and dead.version_id == table.vid_col[row]
         # Releasing again is a no-op because the operand mapping is gone.
         assert table.release_use(producer) is None
 

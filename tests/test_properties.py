@@ -143,10 +143,11 @@ class TestVersionTableProperties:
     def test_release_fires_exactly_when_last_user_leaves(self, readers, extra_releases):
         table = VersionTable(capacity=64)
         producer = OperandID(0, 0, 0)
-        version = table.create(0x1000, 64, producer=producer, renamed=False)
+        row = table.create(0x1000, 64, producer=producer, renamed=False)
+        version_id = table.vid_col[row]
         reader_ids = [OperandID(0, i + 1, 0) for i in range(readers)]
         for reader in reader_ids:
-            table.add_user(version.version_id, reader)
+            table.add_user(version_id, reader)
         users = [producer, *reader_ids]
         random.Random(readers).shuffle(users)
         for index, user in enumerate(users):
@@ -154,7 +155,7 @@ class TestVersionTableProperties:
             if index < len(users) - 1:
                 assert dead is None
             else:
-                assert dead is version
+                assert dead is not None and dead.version_id == version_id
         for _ in range(extra_releases):
             assert table.release_use(producer) is None
 

@@ -154,9 +154,9 @@ class TestScheduleUnref:
         with pytest.raises(ValueError):
             Engine().schedule_unref(-1, lambda: None)
 
-    def test_events_are_recycled_across_waves(self):
-        # Thousands of unref events must execute correctly while the engine
-        # reuses a bounded pool of event objects.
+    def test_unref_waves_allocate_no_handles(self):
+        # Thousands of unref events must execute correctly, and the fast path
+        # must queue bare tuples (ref is None) -- no Event handle allocation.
         engine = Engine()
         seen = []
 
@@ -167,12 +167,11 @@ class TestScheduleUnref:
                 engine.schedule_unref(0, lambda: None)
 
         engine.schedule_unref(1, wave, 0)
+        assert engine._heap[0][2] is None
         engine.run()
         assert [r for r, _ in seen] == list(range(201))
         assert [t for _, t in seen] == list(range(1, 202))
         assert engine.events_processed == 201 + 200
-        assert len(engine._free) >= 1  # pool is populated and bounded
-        assert len(engine._free) <= Engine._FREE_LIST_MAX
 
 
 class TestRunControl:
