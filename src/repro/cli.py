@@ -35,6 +35,12 @@ Python:
   pipeline telemetry: record one observed run, print its stall-attribution
   report, or export it as Chrome/Perfetto trace JSON (:mod:`repro.obs`);
   sweeps and campaigns take ``--obs`` to record per-point summaries.
+* ``python -m repro faults list|check`` -- the deterministic fault-injection
+  harness behind ``--faults`` on ``sweep``/``campaign run`` (worker crashes,
+  stragglers, torn cache writes, trace corruption); sweeps recover via
+  bounded retries (``--retries``, ``--point-timeout``), quarantine corrupt
+  artifacts and journal every point transition (:mod:`repro.sweep.faults`,
+  :mod:`repro.sweep.resilience`).
 
 ``--workload`` accepts any registered workload, case-insensitively, including
 parameterized synthetic specs such as ``"random_dag:width=16,dep_distance=64"``
@@ -189,8 +195,15 @@ def _make_runner(args: argparse.Namespace):
     trace_store = getattr(args, "trace_store", None)
     if getattr(args, "no_trace_store", False):
         trace_store = False
+    retry = None
+    retries = getattr(args, "retries", None)
+    point_timeout = getattr(args, "point_timeout", None)
+    if retries is not None or point_timeout is not None:
+        from repro.sweep import RetryPolicy
+        retry = RetryPolicy(max_retries=2 if retries is None else retries,
+                            point_timeout_seconds=point_timeout)
     return default_runner(jobs=args.jobs, cache=cache,
-                          trace_store=trace_store), cache
+                          trace_store=trace_store, retry=retry), cache
 
 
 def _print_artifacts(cache) -> None:
@@ -216,6 +229,47 @@ def _configure_obs(args: argparse.Namespace):
         root=root,
         keep_recordings=bool(getattr(args, "obs_recordings", False))))
     return root, lambda: configure_observability(previous)
+
+
+def _configure_faults(args: argparse.Namespace, cache):
+    """Install the ``--faults`` plan process-wide (and for pool workers).
+
+    Claim markers live in a fresh per-invocation directory -- under
+    ``<artifacts>/faults/`` when a cache exists (inspectable post-mortem), in
+    the system temp dir with ``--no-cache`` -- so a fault spec re-fires on
+    every invocation instead of staying spent from the last one.  Returns a
+    restore callable, or ``None`` when the flag is absent (the
+    ``REPRO_FAULTS`` environment variable still applies in that case).
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    import tempfile
+    from pathlib import Path
+
+    from repro.common.errors import ConfigurationError
+    from repro.sweep import FaultPlan, configure_faults, parse_faults
+
+    try:
+        parse_faults(spec)
+    except ConfigurationError as error:
+        raise SystemExit(f"--faults: {error}")
+    base = None
+    if cache is not None:
+        base = Path(cache.root) / "faults"
+        base.mkdir(parents=True, exist_ok=True)
+    state_dir = tempfile.mkdtemp(prefix="state-", dir=base)
+    previous = configure_faults(FaultPlan(spec, state_dir=state_dir))
+    return lambda: configure_faults(previous)
+
+
+def _print_resilience(run) -> None:
+    """Print a sweep run's resilience line and journal path, when present."""
+    line = run.resilience_summary()
+    if line is not None:
+        print(line)
+    if getattr(run, "journal_path", None) is not None:
+        print(f"journal: {run.journal_path}")
 
 
 def _print_telemetry(root: str, digests=None) -> None:
@@ -417,6 +471,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     runner, cache = _make_runner(args)
     obs_root, obs_restore = _configure_obs(args)
+    faults_restore = _configure_faults(args, cache)
 
     def progress(point, result, was_cached):
         origin = "cache" if was_cached else "run  "
@@ -427,10 +482,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     finally:
         if obs_restore is not None:
             obs_restore()
+        if faults_restore is not None:
+            faults_restore()
     print(run.summary())
     store = getattr(runner, "trace_store", None)
     if store is not None:
         print(f"{run.trace_summary()} (store: {store.root})")
+    _print_resilience(run)
     if obs_root is not None:
         _print_telemetry(obs_root,
                          {point.point_id for point in spec.points()})
@@ -466,15 +524,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = _campaign_from_args(args)
 
     if args.action == "report":
+        from pathlib import Path
+
+        from repro.common.errors import ArtifactIntegrityError
+        from repro.common.fileio import quarantine_file
         from repro.sweep.cache import DEFAULT_CACHE_ROOT
 
-        directory = campaign_dir(args.artifacts or DEFAULT_CACHE_ROOT,
-                                 campaign.campaign_id)
+        artifacts = args.artifacts or DEFAULT_CACHE_ROOT
+        directory = campaign_dir(artifacts, campaign.campaign_id)
         if not (directory / "report.json").exists():
             raise SystemExit(
                 f"no report under {directory}; run `repro campaign run "
                 f"--campaign {args.campaign}` with the same flags first")
-        print(format_report(load_report(directory)))
+        try:
+            report = load_report(directory)
+        except ArtifactIntegrityError as error:
+            moved = quarantine_file(directory / "report.json",
+                                    Path(artifacts) / "quarantine", str(error))
+            raise SystemExit(
+                f"{error}\nquarantined to "
+                f"{moved if moved is not None else '<already gone>'}; "
+                f"regenerate with `repro campaign run --campaign "
+                f"{args.campaign}` (cached points make the re-run cheap)")
+        print(format_report(report))
         print(f"report: {directory}")
         return 0
 
@@ -482,6 +554,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(campaign.describe())
     runner, cache = _make_runner(args)
     obs_root, obs_restore = _configure_obs(args)
+    faults_restore = _configure_faults(args, cache)
 
     def progress(member, group, done, total):
         print(f"  [{member}] {done}/{total} {group.label()}")
@@ -491,11 +564,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         if obs_restore is not None:
             obs_restore()
+        if faults_restore is not None:
+            faults_restore()
     print(format_report(report))
     if obs_root is not None:
         _print_telemetry(obs_root)
     print(f"campaign totals: {report.recomputed_points} points recomputed, "
           f"{report.regenerated_traces} traces regenerated")
+    if report.retried_points or report.corrupt_artifacts:
+        print(f"resilience: {report.retried_points} point(s) retried, "
+              f"{report.corrupt_artifacts} corrupt artifact(s) quarantined")
     if cache is not None:
         directory = write_report(report, cache)
         print(f"report: {directory}")
@@ -631,6 +709,34 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.sweep.faults import (FAULTS_DIR_ENV, FAULTS_ENV, FAULT_KINDS,
+                                    parse_faults)
+
+    if args.action == "list":
+        print(f"{'Kind':14s} Effect")
+        for kind, text in sorted(FAULT_KINDS.items()):
+            print(f"{kind:14s} {text}")
+        print("\nspec grammar: kind[:key=value,...][;kind:...]  "
+              "(keys: point, ordinal, times, seconds)")
+        print("inject with: repro sweep|campaign run --faults SPEC, or the "
+              f"{FAULTS_ENV} (+ {FAULTS_DIR_ENV}) environment variables")
+        print("validate a spec with: repro faults check --spec SPEC")
+        return 0
+
+    # action == "check"
+    try:
+        faults = parse_faults(args.spec)
+    except ConfigurationError as error:
+        print(f"invalid fault spec: {error}")
+        return 1
+    print(f"{len(faults)} fault(s) parsed:")
+    for fault in faults:
+        print(f"  {fault.describe()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro",
@@ -739,6 +845,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-trace-store", action="store_true",
                        help="regenerate traces per process instead of baking "
                             "them once")
+    sweep.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="re-dispatch a crashed or timed-out point up to "
+                            "N times before failing the sweep (default 2; "
+                            "parallel runs only)")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and re-dispatch any point still running "
+                            "after this many wall-clock seconds (straggler "
+                            "recovery; parallel runs only)")
+    sweep.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject deterministic faults for chaos testing, "
+                            "e.g. 'worker_crash:point=0' "
+                            "(see `repro faults list`)")
     sweep.set_defaults(func=_cmd_sweep)
 
     campaign = subparsers.add_parser(
@@ -783,6 +902,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--no-trace-store", action="store_true",
                               help="regenerate traces per process instead of "
                                    "baking them once")
+    campaign_run.add_argument("--retries", type=int, default=None,
+                              metavar="N",
+                              help="re-dispatch a crashed or timed-out point "
+                                   "up to N times (default 2; parallel only)")
+    campaign_run.add_argument("--point-timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="kill and re-dispatch points still running "
+                                   "after this long (parallel only)")
+    campaign_run.add_argument("--faults", default=None, metavar="SPEC",
+                              help="inject deterministic faults "
+                                   "(see `repro faults list`)")
     campaign_run.set_defaults(func=_cmd_campaign)
     campaign_report = campaign_sub.add_parser(
         "report", help="print the stored report of an already-run campaign")
@@ -943,6 +1073,21 @@ def build_parser() -> argparse.ArgumentParser:
     obs_gc.add_argument("--dry-run", action="store_true")
     _obs_dir_arg(obs_gc)
     obs_gc.set_defaults(func=_cmd_obs)
+
+    faults = subparsers.add_parser(
+        "faults", help="deterministic fault injection for chaos testing "
+                       "(see repro.sweep.faults)")
+    faults_sub = faults.add_subparsers(dest="action", required=True)
+    faults_list = faults_sub.add_parser(
+        "list", help="show the supported fault kinds and the spec grammar")
+    faults_list.set_defaults(func=_cmd_faults)
+    faults_check = faults_sub.add_parser(
+        "check", help="parse a fault spec and echo the resulting plan")
+    faults_check.add_argument("--spec", required=True, metavar="SPEC",
+                              help="fault spec, e.g. "
+                                   "'worker_crash:point=0;slow_point:point=1,"
+                                   "seconds=30'")
+    faults_check.set_defaults(func=_cmd_faults)
 
     synth = subparsers.add_parser(
         "synth", help="synthetic task-graph families and stress campaigns")

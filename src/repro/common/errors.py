@@ -63,3 +63,22 @@ class SweepExecutionError(ReproError):
     spec's point list, so campaigns never mistake partial output for a
     completed grid.
     """
+
+
+class ArtifactIntegrityError(ReproError):
+    """A stored artifact failed its content-digest or schema verification.
+
+    Raised only where silently recomputing is impossible (e.g. a campaign
+    report read back for display); the self-healing stores (result cache,
+    trace store) quarantine the corrupt entry and recompute instead.
+    """
+
+
+class ArtifactIntegrityWarning(UserWarning):
+    """A corrupt artifact was quarantined and will be transparently recomputed.
+
+    A warning rather than an error: the run still produces correct results,
+    but the operator should know the artifact store took damage (disk
+    trouble, a torn write from a killed process) and where the evidence
+    went.
+    """

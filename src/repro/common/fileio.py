@@ -10,10 +10,12 @@ complete files.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 PathLike = Union[str, Path]
 
@@ -44,3 +46,59 @@ def atomic_write_text(path: PathLike, text: str,
                       encoding: str = "utf-8") -> Path:
     """Atomically write ``text`` to ``path`` (see :func:`atomic_write_bytes`)."""
     return atomic_write_bytes(path, text.encode(encoding))
+
+
+def append_jsonl_line(path: PathLike, record: dict) -> None:
+    """Append ``record`` as one JSON line to ``path``.
+
+    The record is serialized first and written in a single ``write`` call on
+    an O_APPEND descriptor, so concurrent appenders (pool workers, a parent
+    journaling around them) interleave whole lines, never fragments --
+    POSIX guarantees the atomicity for writes this small.  Parent
+    directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    payload = line.encode("utf-8")
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
+
+
+def quarantine_file(path: PathLike, quarantine_dir: PathLike,
+                    reason: str) -> Optional[Path]:
+    """Move a corrupt artifact into ``quarantine_dir`` for post-mortem.
+
+    The file keeps its name plus a ``.quarantined`` suffix (so artifact-store
+    globs like ``*/*.rpt`` never pick quarantined entries back up), with a
+    numeric infix on collision.  A ``<name>.reason.json`` sidecar records why
+    and when.  Returns the quarantined path, or ``None`` when the move lost a
+    race (another process already quarantined or removed the file) -- callers
+    treat that as already-handled, not an error.
+    """
+    path = Path(path)
+    quarantine_dir = Path(quarantine_dir)
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    destination = quarantine_dir / (path.name + ".quarantined")
+    serial = 0
+    while destination.exists():
+        serial += 1
+        destination = quarantine_dir / f"{path.name}.{serial}.quarantined"
+    try:
+        os.replace(path, destination)
+    except OSError:
+        return None
+    sidecar = {
+        "source": str(path),
+        "reason": reason,
+        "quarantined_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    try:
+        atomic_write_text(destination.with_name(destination.name + ".reason.json"),
+                          json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        pass
+    return destination

@@ -157,6 +157,27 @@ class HeartbeatWriter:
                       tasks_retired=tasks_retired)
         return heartbeat
 
+    def point_failed(self, digest: Optional[str], error: str,
+                     attempt: Optional[int] = None) -> None:
+        """Record that a point's execution failed (crash, timeout, error).
+
+        Emitted by the worker when the simulation itself raises, and by the
+        parent runner when a worker dies or exhausts its retry budget -- so
+        heartbeat consumers watching a fleet see failures, not just silence.
+        """
+        fields: Dict[str, object] = {"point": digest, "error": error}
+        if attempt is not None:
+            fields["attempt"] = attempt
+        self.emit("point_failed", **fields)
+
+    def point_retried(self, digest: Optional[str], attempt: int,
+                      reason: Optional[str] = None) -> None:
+        """Record that a point is being re-dispatched (attempt is 1-based)."""
+        fields: Dict[str, object] = {"point": digest, "attempt": attempt}
+        if reason is not None:
+            fields["reason"] = reason
+        self.emit("point_retried", **fields)
+
 
 def read_heartbeats(root: PathLike) -> List[Dict[str, object]]:
     """Read every heartbeat record under ``<root>/heartbeats``, time-sorted."""

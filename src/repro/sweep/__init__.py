@@ -32,6 +32,8 @@ See ``examples/sweep_campaign.py`` for an end-to-end campaign.
 from repro.sweep.cache import DEFAULT_CACHE_ROOT, ResultCache
 from repro.sweep.campaign import (Ablation, Campaign, CampaignReport,
                                   aggregate_run, run_campaign)
+from repro.sweep.faults import (FaultPlan, configure_faults, parse_faults)
+from repro.sweep.resilience import RetryPolicy, RunJournal
 from repro.sweep.runner import (ParallelRunner, SerialRunner, SweepRun,
                                 adaptive_chunksize, configure_trace_store,
                                 default_runner, execute_point,
@@ -46,8 +48,11 @@ __all__ = [
     "Campaign",
     "CampaignReport",
     "DEFAULT_CACHE_ROOT",
+    "FaultPlan",
     "ParallelRunner",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
     "SerialRunner",
     "SweepPoint",
     "SweepRun",
@@ -56,7 +61,9 @@ __all__ = [
     "adaptive_chunksize",
     "aggregate_run",
     "canonical_scalar",
+    "configure_faults",
     "configure_trace_store",
+    "parse_faults",
     "default_runner",
     "execute_point",
     "parse_axis_value",

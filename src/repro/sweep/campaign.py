@@ -43,7 +43,7 @@ from pathlib import Path
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ArtifactIntegrityError, ConfigurationError
 from repro.common.fileio import atomic_write_text
 from repro.common.hashing import content_digest
 from repro.sweep.cache import ResultCache
@@ -51,7 +51,10 @@ from repro.sweep.runner import SerialRunner, SweepRun
 from repro.sweep.spec import ParamValue, SweepPoint, SweepSpec, canonical_scalar
 
 #: Bump when the report layout changes; stale reports are rewritten.
-REPORT_SCHEMA = 1
+#: 2: reports carry per-member resilience counters (``retried_points``,
+#: ``corrupt_artifacts``) and a top-level content ``digest`` verified by
+#: :func:`load_report`.
+REPORT_SCHEMA = 2
 
 #: The ensemble axis appended (varying fastest) to every member spec.
 SEED_AXIS = "seed"
@@ -288,6 +291,10 @@ class MemberReport:
     cached_points: int
     trace_generated: int
     trace_reused: int
+    #: Points re-dispatched after worker crashes / timeouts during this run.
+    retried_points: int = 0
+    #: Corrupt artifacts quarantined while serving this member.
+    corrupt_artifacts: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -299,6 +306,8 @@ class MemberReport:
             "cached_points": self.cached_points,
             "trace_generated": self.trace_generated,
             "trace_reused": self.trace_reused,
+            "retried_points": self.retried_points,
+            "corrupt_artifacts": self.corrupt_artifacts,
         }
 
     @staticmethod
@@ -310,7 +319,9 @@ class MemberReport:
             computed_points=int(data["computed_points"]),
             cached_points=int(data["cached_points"]),
             trace_generated=int(data["trace_generated"]),
-            trace_reused=int(data["trace_reused"]))
+            trace_reused=int(data["trace_reused"]),
+            retried_points=int(data.get("retried_points", 0)),
+            corrupt_artifacts=int(data.get("corrupt_artifacts", 0)))
 
 
 @dataclass
@@ -370,6 +381,16 @@ class CampaignReport:
         """Traces generated (not store/memo-served) by this run."""
         return sum(member.trace_generated for member in self.members)
 
+    @property
+    def retried_points(self) -> int:
+        """Point retries (crash/timeout recoveries) across all members."""
+        return sum(member.retried_points for member in self.members)
+
+    @property
+    def corrupt_artifacts(self) -> int:
+        """Corrupt artifacts quarantined across all members."""
+        return sum(member.corrupt_artifacts for member in self.members)
+
     def member(self, name: str) -> MemberReport:
         """The member report called ``name``."""
         for member in self.members:
@@ -389,6 +410,8 @@ class CampaignReport:
             "ablation": [delta.to_dict() for delta in self.ablation],
             "recomputed_points": self.recomputed_points,
             "regenerated_traces": self.regenerated_traces,
+            "retried_points": self.retried_points,
+            "corrupt_artifacts": self.corrupt_artifacts,
         }
 
     @staticmethod
@@ -568,7 +591,9 @@ def run_campaign(campaign: Campaign, runner=None,
             computed_points=run.computed_count,
             cached_points=run.cached_count,
             trace_generated=run.trace_generated,
-            trace_reused=run.trace_reused))
+            trace_reused=run.trace_reused,
+            retried_points=getattr(run, "retried_points", 0),
+            corrupt_artifacts=getattr(run, "corrupt_artifacts", 0)))
     report = CampaignReport(
         campaign=campaign.name, campaign_id=campaign.campaign_id,
         seeds=[int(canonical_scalar(seed)) for seed in campaign.seeds],
@@ -636,8 +661,13 @@ def write_report(report: CampaignReport,
     trace store, which the report's accounting shows were not touched.
     """
     directory = campaign_dir(artifacts, report.campaign_id)
+    payload = report.to_dict()
+    # Self-verifying document: the digest covers everything else in the
+    # payload, so load_report can tell truncation/bit rot from a report that
+    # was simply written by different code.
+    payload["digest"] = content_digest(payload)
     atomic_write_text(directory / "report.json",
-                      json.dumps(report.to_dict(), sort_keys=True, indent=1))
+                      json.dumps(payload, sort_keys=True, indent=1))
     atomic_write_text(directory / "summary.csv", _summary_csv(report))
     if report.baseline is not None:
         atomic_write_text(directory / "ablation.csv", _ablation_csv(report))
@@ -645,12 +675,36 @@ def write_report(report: CampaignReport,
 
 
 def load_report(path: Union[str, Path]) -> CampaignReport:
-    """Load a report from its directory or ``report.json`` path."""
+    """Load a report from its directory or ``report.json`` path.
+
+    Raises :class:`ArtifactIntegrityError` when the document is damaged
+    (unparseable JSON, missing or mismatched content digest) -- a campaign
+    report cannot be transparently recomputed here, so the caller must
+    quarantine it and re-run the campaign (the ``repro campaign`` CLI does
+    exactly that).  A report written by a different schema version raises
+    :class:`ConfigurationError` instead: stale, not damaged.
+    """
     path = Path(path)
     if path.is_dir():
         path = path / "report.json"
-    with open(path, "r", encoding="utf-8") as handle:
-        return CampaignReport.from_dict(json.load(handle))
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ArtifactIntegrityError(
+            f"campaign report {path} is not valid JSON ({exc}); the file is "
+            "truncated or corrupt") from exc
+    if not isinstance(data, dict):
+        raise ArtifactIntegrityError(
+            f"campaign report {path} is not a JSON object")
+    if data.get("schema") == REPORT_SCHEMA:
+        stored = data.pop("digest", None)
+        if stored != content_digest(data):
+            raise ArtifactIntegrityError(
+                f"campaign report {path} failed its content-digest check "
+                "(truncated, bit-flipped, or hand-edited); re-run the "
+                "campaign to regenerate it")
+    return CampaignReport.from_dict(data)
 
 
 # -- Presentation ------------------------------------------------------------

@@ -21,20 +21,41 @@ the artifacts directory) load the packed file by content address instead of
 regenerating it.  The per-process memo that backs :func:`trace_for_params`
 is keyed by the same canonical digest and its size is configurable via
 ``REPRO_TRACE_CACHE_SIZE``, so multi-workload grids no longer thrash it.
+
+Fault tolerance: :class:`ParallelRunner` runs on a
+``concurrent.futures.ProcessPoolExecutor`` and treats a dead worker as a
+recoverable event -- completed points are already in the cache, the broken
+pool is replaced (with exponential backoff, see
+:class:`repro.sweep.resilience.RetryPolicy`), and the in-flight points are
+re-dispatched with a bounded per-point retry budget.  A per-point wall-clock
+timeout re-dispatches stragglers the same way.  Every transition is recorded
+in a crash-safe :class:`repro.sweep.resilience.RunJournal`, and the
+deterministic fault injector (:mod:`repro.sweep.faults`) can crash, slow or
+corrupt any of it on demand -- the chaos suite proves recovered runs are
+bit-identical to clean ones.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import os
-from collections import OrderedDict
+import time
+import warnings
+from collections import OrderedDict, deque
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.backend.system import SimulationResult, TaskSuperscalarSystem
 from repro.common.errors import ConfigurationError, SweepExecutionError
 from repro.common.hashing import content_digest
 from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
+from repro.sweep.faults import (CRASH_EXIT_CODE, active_fault_plan,
+                                configure_faults)
+from repro.sweep.faults import fire as fire_fault
+from repro.sweep.resilience import RetryPolicy, RunJournal
 from repro.sweep.spec import (OVERRIDE_SECTIONS, WORKLOAD_SECTION, ParamValue,
                               SweepPoint, SweepSpec, canonical_scalar,
                               spec_id_of)
@@ -366,21 +387,35 @@ def execute_point(point_params: Dict[str, ParamValue]) -> Dict:
         observer.heartbeat = heartbeats.progress_hook(digest)
         heartbeats.emit("point_start", point=digest,
                         workload=str(params.get("workload", "")))
-    if system_kind == "hardware":
-        result = TaskSuperscalarSystem(config, observer=observer).run(
-            trace, validate=bool(params.get("validate", False)))
-    elif system_kind == "software":
-        from repro.software.runtime_sim import SoftwareRuntimeSystem
+    try:
+        if system_kind == "hardware":
+            result = TaskSuperscalarSystem(config, observer=observer).run(
+                trace, validate=bool(params.get("validate", False)))
+        elif system_kind == "software":
+            from repro.software.runtime_sim import SoftwareRuntimeSystem
 
-        result = SoftwareRuntimeSystem(config).run(
-            trace, validate=bool(params.get("validate", False)))
-    else:  # pragma: no cover - SweepSpec.validate rejects this earlier
-        raise ConfigurationError(f"unknown system {system_kind!r}")
+            result = SoftwareRuntimeSystem(config).run(
+                trace, validate=bool(params.get("validate", False)))
+        else:  # pragma: no cover - SweepSpec.validate rejects this earlier
+            raise ConfigurationError(f"unknown system {system_kind!r}")
+    except Exception as exc:
+        if heartbeats is not None:
+            heartbeats.point_failed(digest, error=repr(exc))
+        raise
     if observer is not None:
-        _write_point_telemetry(obs, digest, params, observer, result)
-        heartbeats.emit("point_done", point=digest,
-                        makespan_cycles=result.makespan_cycles,
-                        tasks=result.tasks_completed)
+        # Telemetry is best-effort by contract: a full disk or an unwritable
+        # obs dir must never take down the simulation whose result is already
+        # in hand.
+        try:
+            _write_point_telemetry(obs, digest, params, observer, result)
+            heartbeats.emit("point_done", point=digest,
+                            makespan_cycles=result.makespan_cycles,
+                            tasks=result.tasks_completed)
+        except OSError as exc:
+            warnings.warn(
+                f"telemetry write failed for point {digest[:12]} ({exc}); "
+                "the simulation result is unaffected", RuntimeWarning,
+                stacklevel=2)
     return result_to_dict(result)
 
 
@@ -388,10 +423,12 @@ def _write_point_telemetry(obs: ObsSettings, digest: str,
                            params: Dict[str, ParamValue], observer,
                            result: SimulationResult) -> None:
     """Persist one observed point's telemetry artifacts under ``obs.root``."""
-    from pathlib import Path
-
     from repro.obs.io import save_recording
     from repro.obs.report import point_summary, write_point_summary
+
+    fault = fire_fault("obs_fail")
+    if fault is not None:
+        raise OSError(f"injected obs write failure ({fault.describe()})")
 
     recording = observer.snapshot(meta={"point": digest})
     summary = point_summary(
@@ -405,15 +442,26 @@ def _write_point_telemetry(obs: ObsSettings, digest: str,
                        Path(obs.root) / "recordings" / f"{digest}.robs")
 
 
-def _execute_indexed(payload: Tuple[int, Dict[str, ParamValue]]) -> Tuple[int, Dict]:
-    """Pool adapter: tag each result with its point index.
+def _execute_chunk(payloads: List[Tuple[int, Dict[str, ParamValue]]],
+                   ) -> List[Tuple[int, Dict]]:
+    """Worker entry point: execute one dispatched chunk of indexed points.
 
-    Lets :class:`ParallelRunner` stream results with ``imap_unordered`` (so
-    fast points are cached immediately instead of queueing behind a slow
-    earlier point) while still reassembling spec order afterwards.
+    This is also where the process-fatal fault injections live
+    (:mod:`repro.sweep.faults`): ``worker_crash`` kills this worker before
+    the target point simulates -- exactly the failure mode a preempted
+    container or an OOM kill produces -- and ``slow_point`` turns the target
+    point into a straggler for the per-point timeout.  Both target the
+    point's spec index, so injected runs are deterministic.
     """
-    index, params = payload
-    return index, execute_point(params)
+    out: List[Tuple[int, Dict]] = []
+    for index, params in payloads:
+        if fire_fault("worker_crash", point=index) is not None:
+            os._exit(CRASH_EXIT_CODE)
+        fault = fire_fault("slow_point", point=index)
+        if fault is not None:
+            time.sleep(fault.seconds)
+        out.append((index, execute_point(params)))
+    return out
 
 
 @dataclass
@@ -436,6 +484,18 @@ class SweepRun:
     #: Traces answered without regeneration (packed-store loads + memo hits),
     #: counted parent-side under the same caveat as ``trace_generated``.
     trace_reused: int = 0
+    #: Points re-dispatched after a worker crash or a per-point timeout.
+    retried_points: int = 0
+    #: Times the worker pool was torn down and replaced mid-run.
+    pool_restarts: int = 0
+    #: Corrupt artifacts (cache entries, packed traces) quarantined during
+    #: this run, parent-side.  Workers quarantine independently; their events
+    #: surface as warnings, not in this counter.
+    corrupt_artifacts: int = 0
+    #: Where the quarantined artifacts went (for the post-mortem).
+    quarantined_paths: List[str] = field(default_factory=list)
+    #: The run journal recording this run's transitions, when journaling on.
+    journal_path: Optional[str] = None
 
     def __iter__(self):
         return iter(zip(self.points, self.results))
@@ -458,6 +518,20 @@ class SweepRun:
         """One-line trace-amortization outcome (the store's scoreboard)."""
         return (f"traces: {self.trace_generated} regenerated, "
                 f"{self.trace_reused} reused")
+
+    def resilience_summary(self) -> Optional[str]:
+        """One-line recovery outcome, or ``None`` when the run was clean.
+
+        Kept off the main :meth:`summary` line so the long-standing
+        ``"N cached, M computed"`` contract (and the CI greps pinned to it)
+        is untouched by a clean run.
+        """
+        if not (self.retried_points or self.pool_restarts
+                or self.corrupt_artifacts):
+            return None
+        return (f"resilience: {self.retried_points} point(s) retried, "
+                f"{self.pool_restarts} pool restart(s), "
+                f"{self.corrupt_artifacts} corrupt artifact(s) quarantined")
 
 
 ProgressCallback = Callable[[SweepPoint, SimulationResult, bool], None]
@@ -483,14 +557,58 @@ def resolve_trace_store(trace_store: Union[TraceStore, str, None, bool],
     return None
 
 
+JournalOption = Union[RunJournal, str, Path, None, bool]
+
+
+def resolve_journal(journal: JournalOption, cache: Optional[ResultCache],
+                    points: List[SweepPoint]) -> RunJournal:
+    """Pick a runner's journal.
+
+    ``None`` derives the conventional location from the result cache
+    (``<artifacts>/journals/<spec_id>.jsonl``, next to ``objects/`` and
+    ``quarantine/``) so every cached sweep is journaled by default; ``False``
+    disables journaling; a path or :class:`RunJournal` is used as given.
+    Cache-less runs have no artifact root to journal under, so they run
+    unjournaled unless given a path.
+    """
+    if isinstance(journal, RunJournal):
+        return journal
+    if isinstance(journal, (str, os.PathLike)):
+        return RunJournal(journal)
+    if journal is False or cache is None:
+        return RunJournal(None)
+    return RunJournal.for_root(Path(cache.root), spec_id_of(points))
+
+
+def _integrity_snapshot(cache: Optional[ResultCache],
+                        store: Optional[TraceStore]) -> Tuple[int, int]:
+    """Parent-side corrupt-artifact counters before a run (for the delta)."""
+    return (getattr(cache, "corrupt", 0) if cache is not None else 0,
+            getattr(store, "corrupt", 0) if store is not None else 0)
+
+
+def _integrity_since(base: Tuple[int, int], cache: Optional[ResultCache],
+                     store: Optional[TraceStore]) -> Tuple[int, List[str]]:
+    """Corrupt-artifact count and quarantine paths accrued since ``base``."""
+    cache_now, store_now = _integrity_snapshot(cache, store)
+    paths: List[str] = []
+    if cache is not None and cache_now > base[0]:
+        paths.extend(str(p) for p in cache.quarantined[-(cache_now - base[0]):])
+    if store is not None and store_now > base[1]:
+        paths.extend(str(p) for p in store.quarantined[-(store_now - base[1]):])
+    return (cache_now - base[0]) + (store_now - base[1]), paths
+
+
 class SerialRunner:
     """Run every point in-process, in spec order (the reference executor)."""
 
     def __init__(self, cache: Optional[ResultCache] = None,
-                 trace_store: Union[TraceStore, str, None, bool] = None):
+                 trace_store: Union[TraceStore, str, None, bool] = None,
+                 journal: JournalOption = None):
         self.cache = cache
         self.trace_store_disabled = trace_store is False
         self.trace_store = resolve_trace_store(trace_store, cache)
+        self.journal = journal
 
     def run(self, spec: SweepSpec,
             progress: Optional[ProgressCallback] = None) -> SweepRun:
@@ -500,6 +618,10 @@ class SerialRunner:
         seen: Dict[str, SimulationResult] = {}
         computed = cached = 0
         stats_base = TRACE_STATS.snapshot()
+        integrity_base = _integrity_snapshot(self.cache, self.trace_store)
+        journal = resolve_journal(self.journal, self.cache, points)
+        journal.emit("sweep_start", spec=spec.name, points=len(points),
+                     workers=1)
         # Install this runner's store for the duration of the run -- but only
         # when it actually has an opinion: a store-less, non-disabled runner
         # leaves any process-global store (configure_trace_store / env var)
@@ -515,12 +637,22 @@ class SerialRunner:
                     result = self.cache.get(point)
                 was_cached = result is not None
                 if result is None:
-                    result = result_from_dict(execute_point(point.as_dict()))
+                    journal.emit("point_running", point_id=point.point_id,
+                                 attempt=0)
+                    try:
+                        result = result_from_dict(
+                            execute_point(point.as_dict()))
+                    except Exception as exc:
+                        journal.emit("point_failed", point_id=point.point_id,
+                                     attempt=0, reason=repr(exc))
+                        raise
                     computed += 1
                     if self.cache is not None:
                         self.cache.put(point, result)
+                    journal.emit("point_done", point_id=point.point_id)
                 else:
                     cached += 1
+                    journal.emit("point_cached", point_id=point.point_id)
                 seen[point.point_id] = result
                 results.append(result)
                 if progress is not None:
@@ -531,10 +663,18 @@ class SerialRunner:
         if self.cache is not None:
             self.cache.write_manifest(spec_id_of(points), spec.name, points)
         delta = TRACE_STATS.since(stats_base)
+        corrupt, quarantined = _integrity_since(integrity_base, self.cache,
+                                                self.trace_store)
+        journal.emit("sweep_done", computed=computed, cached=cached,
+                     retried=0, pool_restarts=0, corrupt_artifacts=corrupt)
         return SweepRun(spec=spec, points=points, results=results,
                         computed_count=computed, cached_count=cached,
                         trace_generated=delta.generated,
-                        trace_reused=delta.packed_hits + delta.memo_hits)
+                        trace_reused=delta.packed_hits + delta.memo_hits,
+                        corrupt_artifacts=corrupt,
+                        quarantined_paths=quarantined,
+                        journal_path=(str(journal.path)
+                                      if journal.enabled else None))
 
 
 def adaptive_chunksize(num_pending: int, num_workers: int) -> int:
@@ -551,7 +691,7 @@ def adaptive_chunksize(num_pending: int, num_workers: int) -> int:
 
 
 class ParallelRunner:
-    """Fan uncached points out over a ``multiprocessing`` pool.
+    """Fan uncached points out over a crash-tolerant process pool.
 
     Cached points are answered from the artifact directory without touching
     the pool; fresh results are written to the cache as they stream back, so
@@ -559,11 +699,25 @@ class ParallelRunner:
     one chunk per worker; see :func:`adaptive_chunksize`).  The returned
     results are ordered by spec point order -- identical to
     :class:`SerialRunner` output for the same spec.
+
+    A dead worker (OOM kill, container preemption, an injected
+    ``worker_crash``) no longer loses the sweep: the broken pool is replaced
+    after an exponential backoff, and every in-flight point is re-dispatched
+    as its own single-point task with a bounded per-point retry budget
+    (:class:`RetryPolicy`).  With ``point_timeout_seconds`` set, a chunk that
+    exceeds its wall-clock deadline is treated the same way: the pool is
+    torn down (terminating the straggler) and the timed-out points retried
+    while innocent in-flight points are re-dispatched without spending their
+    retry budget.  Deterministic application errors raised by a point are
+    *not* retried -- they would fail identically -- but they are re-raised
+    as :class:`SweepExecutionError` naming the failed point.
     """
 
     def __init__(self, num_workers: int = 2, cache: Optional[ResultCache] = None,
                  start_method: Optional[str] = None,
-                 trace_store: Union[TraceStore, str, None, bool] = None):
+                 trace_store: Union[TraceStore, str, None, bool] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 journal: JournalOption = None):
         if num_workers < 1:
             raise ConfigurationError(
                 f"num_workers must be positive, got {num_workers}")
@@ -572,6 +726,8 @@ class ParallelRunner:
         self.start_method = start_method
         self.trace_store_disabled = trace_store is False
         self.trace_store = resolve_trace_store(trace_store, cache)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal
 
     def _bake_traces(self, pending_points: List[SweepPoint]) -> Tuple[int, int]:
         """Bake each distinct trace once before fan-out.
@@ -618,6 +774,10 @@ class ParallelRunner:
         # a parameter set (e.g. clamped capacity points) simulate it once.
         pending: Dict[str, List[int]] = {}
         cached = 0
+        integrity_base = _integrity_snapshot(self.cache, self.trace_store)
+        journal = resolve_journal(self.journal, self.cache, points)
+        journal.emit("sweep_start", spec=spec.name, points=len(points),
+                     workers=self.num_workers)
         for index, point in enumerate(points):
             if point.point_id in pending:
                 pending[point.point_id].append(index)
@@ -626,55 +786,310 @@ class ParallelRunner:
             if result is not None:
                 results[index] = result
                 cached += 1
+                journal.emit("point_cached", point_id=point.point_id)
                 if progress is not None:
                     progress(point, result, True)
             else:
                 pending[point.point_id] = [index]
 
         trace_generated = trace_reused = 0
+        retried_points = pool_restarts = 0
         if pending:
             pending_points = [points[indexes[0]] for indexes in pending.values()]
-            initializer = initargs = None
-            store_arg: Optional[str] = _KEEP_STORE
             if self.trace_store is not None:
                 trace_generated, trace_reused = self._bake_traces(pending_points)
-                store_arg = str(self.trace_store.root)
-            elif self.trace_store_disabled:
-                store_arg = None
-            obs = active_obs_settings()
-            if store_arg != _KEEP_STORE or obs is not None:
-                initializer = _worker_init
-                initargs = (store_arg, obs)
-            context = (multiprocessing.get_context(self.start_method)
-                       if self.start_method else multiprocessing.get_context())
-            workers = min(self.num_workers, len(pending))
-            with context.Pool(processes=workers, initializer=initializer,
-                              initargs=initargs or ()) as pool:
-                payloads = [(indexes[0], points[indexes[0]].as_dict())
-                            for indexes in pending.values()]
-                # Unordered streaming: each result is cached the moment it
-                # arrives, so a killed sweep loses only the points still in
-                # flight (never completed-but-unyielded ones).
-                for first_index, data in pool.imap_unordered(
-                        _execute_indexed, payloads,
-                        chunksize=adaptive_chunksize(len(payloads), workers)):
-                    point = points[first_index]
-                    result = result_from_dict(data)
-                    for index in pending[point.point_id]:
-                        results[index] = result
-                    if self.cache is not None:
-                        self.cache.put(point, result)
-                    if progress is not None:
-                        progress(point, result, False)
+            retried_points, pool_restarts = self._execute_pending(
+                points, pending, results, journal, progress)
 
         duplicates = sum(len(indexes) - 1 for indexes in pending.values())
         _require_complete(points, results)
         if self.cache is not None:
             self.cache.write_manifest(spec_id_of(points), spec.name, points)
+        corrupt, quarantined = _integrity_since(integrity_base, self.cache,
+                                                self.trace_store)
+        journal.emit("sweep_done", computed=len(pending),
+                     cached=cached + duplicates, retried=retried_points,
+                     pool_restarts=pool_restarts, corrupt_artifacts=corrupt)
         return SweepRun(spec=spec, points=points, results=list(results),
                         computed_count=len(pending), cached_count=cached + duplicates,
                         trace_generated=trace_generated,
-                        trace_reused=trace_reused)
+                        trace_reused=trace_reused,
+                        retried_points=retried_points,
+                        pool_restarts=pool_restarts,
+                        corrupt_artifacts=corrupt,
+                        quarantined_paths=quarantined,
+                        journal_path=(str(journal.path)
+                                      if journal.enabled else None))
+
+    # -- The crash-tolerant dispatch loop ----------------------------------
+
+    def _executor_setup(self) -> Tuple[multiprocessing.context.BaseContext,
+                                       Tuple]:
+        """The (mp context, initializer args) every pool generation shares."""
+        store_arg: Optional[str] = _KEEP_STORE
+        if self.trace_store is not None:
+            store_arg = str(self.trace_store.root)
+        elif self.trace_store_disabled:
+            store_arg = None
+        obs = active_obs_settings()
+        plan = active_fault_plan()
+        fault_args = (None if plan is None
+                      else (plan.spec, plan.state_dir))
+        context = (multiprocessing.get_context(self.start_method)
+                   if self.start_method else multiprocessing.get_context())
+        return context, (store_arg, obs, fault_args)
+
+    def _new_executor(self, workers: int, context, initargs: Tuple,
+                      ) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_worker_init, initargs=initargs)
+
+    @staticmethod
+    def _dispose_executor(executor: concurrent.futures.ProcessPoolExecutor,
+                          kill: bool = False) -> None:
+        """Tear a pool down without waiting on work that will never finish.
+
+        ``kill=True`` terminates the worker processes first -- the straggler
+        path, where a hung point would otherwise block shutdown forever.
+        The ``_processes`` map is CPython implementation detail, hence the
+        defensive ``getattr``; losing the kill merely leaves an orphan worker
+        to finish a result nobody collects.
+        """
+        if kill:
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except (OSError, AttributeError):  # pragma: no cover - racing exit
+                    pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _execute_pending(self, points: List[SweepPoint],
+                         pending: Dict[str, List[int]],
+                         results: List[Optional[SimulationResult]],
+                         journal: RunJournal,
+                         progress: Optional[ProgressCallback],
+                         ) -> Tuple[int, int]:
+        """Dispatch every pending point, surviving crashes and stragglers.
+
+        Returns ``(retried_points, pool_restarts)``.  The loop keeps a queue
+        of (chunk, attempt) work items and at most ``workers`` chunks in
+        flight; a chunk that dies with its worker is requeued as single-point
+        items with its attempt count bumped, so one bad point can exhaust its
+        own retry budget without dragging chunk-mates down with it.
+        """
+        retry = self.retry
+        payloads = [(indexes[0], points[indexes[0]].as_dict())
+                    for indexes in pending.values()]
+        workers = min(self.num_workers, len(payloads))
+        chunk = adaptive_chunksize(len(payloads), workers)
+        queue: Deque[Tuple[Tuple, int]] = deque(
+            (tuple(payloads[start:start + chunk]), 0)
+            for start in range(0, len(payloads), chunk))
+
+        heartbeats = None
+        obs = active_obs_settings()
+        if obs is not None:
+            from repro.obs.report import HeartbeatWriter
+            heartbeats = HeartbeatWriter(obs.root)
+
+        retried_points = restarts = 0
+        context, initargs = self._executor_setup()
+        executor = self._new_executor(workers, context, initargs)
+        in_flight: Dict[concurrent.futures.Future, Tuple[Tuple, int, Optional[float]]] = {}
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < workers:
+                    chunk_payloads, attempt = queue.popleft()
+                    try:
+                        future = executor.submit(_execute_chunk,
+                                                 list(chunk_payloads))
+                    except BrokenProcessPool:
+                        # The pool broke between waits (e.g. an idle worker
+                        # died).  Push the work back; if nothing is in flight
+                        # the wait loop can never discover the break, so
+                        # replace the pool here.
+                        queue.appendleft((chunk_payloads, attempt))
+                        if in_flight:
+                            break
+                        self._dispose_executor(executor)
+                        journal.emit("pool_restart", restart=restarts + 1,
+                                     reason="broken pool")
+                        delay = retry.backoff_delay(restarts)
+                        restarts += 1
+                        if delay > 0:
+                            time.sleep(delay)
+                        executor = self._new_executor(workers, context,
+                                                      initargs)
+                        continue
+                    deadline = (None if retry.point_timeout_seconds is None
+                                else time.monotonic()
+                                + retry.point_timeout_seconds)
+                    in_flight[future] = (chunk_payloads, attempt, deadline)
+                    for index, _ in chunk_payloads:
+                        journal.emit("point_running",
+                                     point_id=points[index].point_id,
+                                     attempt=attempt)
+                timeout = None
+                if retry.point_timeout_seconds is not None:
+                    now = time.monotonic()
+                    timeout = max(0.0, min(entry[2] for entry
+                                           in in_flight.values()) - now)
+                done, _ = concurrent.futures.wait(
+                    in_flight, timeout=timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED)
+
+                broken = False
+                for future in done:
+                    chunk_payloads, attempt, _ = in_flight.pop(future)
+                    try:
+                        chunk_results = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        retried_points += self._requeue(
+                            [(chunk_payloads, attempt)], queue, points,
+                            journal, heartbeats,
+                            reason="worker process died (broken pool)")
+                    except Exception as exc:
+                        # A deterministic application error: retrying would
+                        # fail identically, so fail the sweep now -- but with
+                        # the point context a bare worker traceback lacks.
+                        for index, _ in chunk_payloads:
+                            journal.emit("point_failed",
+                                         point_id=points[index].point_id,
+                                         attempt=attempt, reason=repr(exc))
+                        labels = ", ".join(points[index].label()
+                                           for index, _ in chunk_payloads[:5])
+                        raise SweepExecutionError(
+                            f"sweep point(s) {labels} raised "
+                            f"{type(exc).__name__}: {exc}") from exc
+                    else:
+                        self._record_chunk(chunk_results, points, pending,
+                                           results, journal, progress)
+
+                if broken:
+                    # The pool is gone: every other in-flight chunk died with
+                    # it.  Chunks that already delivered results were handled
+                    # above; the rest go back on the queue with their attempt
+                    # count bumped (the crash could have been any of them).
+                    victims = [(payloads_, attempt_)
+                               for payloads_, attempt_, _ in in_flight.values()]
+                    in_flight.clear()
+                    retried_points += self._requeue(
+                        victims, queue, points, journal, heartbeats,
+                        reason="worker process died (broken pool)")
+                    self._dispose_executor(executor)
+                    journal.emit("pool_restart", restart=restarts + 1,
+                                 reason="broken pool")
+                    delay = retry.backoff_delay(restarts)
+                    restarts += 1
+                    if delay > 0:
+                        time.sleep(delay)
+                    executor = self._new_executor(workers, context, initargs)
+                    continue
+
+                if retry.point_timeout_seconds is None or not in_flight:
+                    continue
+                now = time.monotonic()
+                if not any(entry[2] is not None and now >= entry[2]
+                           for entry in in_flight.values()):
+                    continue
+                # At least one chunk blew its wall-clock deadline.  Killing
+                # the pool is the only reliable way to stop a stuck worker,
+                # so collect whatever finished in the meantime, then requeue:
+                # expired chunks spend retry budget, innocent bystanders are
+                # re-dispatched for free.
+                self._dispose_executor(executor, kill=True)
+                expired: List[Tuple[Tuple, int]] = []
+                innocent: List[Tuple[Tuple, int]] = []
+                for future, (chunk_payloads, attempt,
+                             deadline) in in_flight.items():
+                    collected = False
+                    if future.done() and not future.cancelled():
+                        try:
+                            chunk_results = future.result()
+                        except BrokenProcessPool:
+                            pass
+                        else:
+                            self._record_chunk(chunk_results, points, pending,
+                                               results, journal, progress)
+                            collected = True
+                    if collected:
+                        continue
+                    if deadline is not None and now >= deadline:
+                        expired.append((chunk_payloads, attempt))
+                    else:
+                        innocent.append((chunk_payloads, attempt))
+                in_flight.clear()
+                retried_points += self._requeue(
+                    expired, queue, points, journal, heartbeats,
+                    reason=(f"point exceeded its "
+                            f"{retry.point_timeout_seconds:g}s wall-clock "
+                            f"timeout"))
+                for chunk_payloads, attempt in innocent:
+                    queue.append((chunk_payloads, attempt))
+                journal.emit("pool_restart", restart=restarts + 1,
+                             reason="straggler timeout")
+                restarts += 1
+                executor = self._new_executor(workers, context, initargs)
+        finally:
+            self._dispose_executor(executor)
+        return retried_points, restarts
+
+    def _record_chunk(self, chunk_results: List[Tuple[int, Dict]],
+                      points: List[SweepPoint],
+                      pending: Dict[str, List[int]],
+                      results: List[Optional[SimulationResult]],
+                      journal: RunJournal,
+                      progress: Optional[ProgressCallback]) -> None:
+        """Cache and slot in one completed chunk's results."""
+        for first_index, data in chunk_results:
+            point = points[first_index]
+            result = result_from_dict(data)
+            for index in pending[point.point_id]:
+                results[index] = result
+            if self.cache is not None:
+                self.cache.put(point, result)
+            journal.emit("point_done", point_id=point.point_id)
+            if progress is not None:
+                progress(point, result, False)
+
+    def _requeue(self, victims: List[Tuple[Tuple, int]], queue: Deque,
+                 points: List[SweepPoint], journal: RunJournal, heartbeats,
+                 reason: str) -> int:
+        """Requeue crashed/timed-out chunks as single-point retry items.
+
+        Raises :class:`SweepExecutionError` with full point context the
+        moment any victim exhausts its retry budget -- including the
+        ``max_retries=0`` case, where the first crash fails the sweep but
+        still names the point instead of surfacing a bare
+        ``BrokenProcessPool``.  Returns the number of point retries queued.
+        """
+        retries = 0
+        for chunk_payloads, attempt in victims:
+            for index, params in chunk_payloads:
+                point = points[index]
+                next_attempt = attempt + 1
+                if next_attempt > self.retry.max_retries:
+                    journal.emit("point_failed", point_id=point.point_id,
+                                 attempt=attempt, reason=reason)
+                    if heartbeats is not None:
+                        heartbeats.point_failed(content_digest(params),
+                                                error=reason, attempt=attempt)
+                    raise SweepExecutionError(
+                        f"sweep point {point.label()} "
+                        f"(point_id {point.point_id[:12]}) failed after "
+                        f"{next_attempt} dispatch(es): {reason}; "
+                        f"params: {params}")
+                journal.emit("point_retried", point_id=point.point_id,
+                             attempt=next_attempt, reason=reason)
+                if heartbeats is not None:
+                    heartbeats.point_retried(content_digest(params),
+                                             attempt=next_attempt)
+                queue.append((((index, params),), next_attempt))
+                retries += 1
+        return retries
 
 
 #: Worker-init sentinel: leave the worker's trace-store configuration alone
@@ -683,18 +1098,26 @@ _KEEP_STORE = "__keep__"
 
 
 def _worker_init(store_root: Optional[str],
-                 obs_settings: Optional[ObsSettings] = None) -> None:
-    """Pool initializer: hand the parent's trace store and obs settings over.
+                 obs_settings: Optional[ObsSettings] = None,
+                 fault_args: Optional[Tuple[str, Optional[str]]] = None) -> None:
+    """Pool initializer: hand the parent's trace store, obs and faults over.
 
     ``store_root=None`` means the parent explicitly disabled the store
     (``trace_store=False``), which must override any ``REPRO_TRACE_STORE``
     environment variable the worker inherited; the :data:`_KEEP_STORE`
-    sentinel leaves the store configuration untouched.
+    sentinel leaves the store configuration untouched.  ``fault_args`` is the
+    parent's ``(spec, state_dir)`` fault plan, reconstructed here so spawned
+    workers inject the same faults as forked ones (the shared state dir keeps
+    firing once-only across the whole fleet and across pool restarts).
     """
     if store_root != _KEEP_STORE:
         configure_trace_store(False if store_root is None else store_root)
     if obs_settings is not None:
         configure_observability(obs_settings)
+    if fault_args is not None:
+        from repro.sweep.faults import FaultPlan
+        spec, state_dir = fault_args
+        configure_faults(FaultPlan(spec, state_dir=state_dir))
 
 
 def _require_complete(points: List[SweepPoint],
@@ -715,8 +1138,13 @@ def _require_complete(points: List[SweepPoint],
 
 
 def default_runner(jobs: int = 1, cache: Optional[ResultCache] = None,
-                   trace_store: Union[TraceStore, str, None, bool] = None):
+                   trace_store: Union[TraceStore, str, None, bool] = None,
+                   retry: Optional[RetryPolicy] = None,
+                   journal: JournalOption = None):
     """Pick the runner matching a ``--jobs`` CLI value."""
     if jobs <= 1:
-        return SerialRunner(cache=cache, trace_store=trace_store)
-    return ParallelRunner(num_workers=jobs, cache=cache, trace_store=trace_store)
+        return SerialRunner(cache=cache, trace_store=trace_store,
+                            journal=journal)
+    return ParallelRunner(num_workers=jobs, cache=cache,
+                          trace_store=trace_store, retry=retry,
+                          journal=journal)

@@ -18,7 +18,10 @@ one open handle.  For a binary format that loads in bulk, see
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import IO, Iterator, Tuple, Union
 
@@ -53,21 +56,46 @@ def _operand_from_json(data: list) -> OperandRecord:
 
 
 def write_trace(trace: TaskTrace, path: PathLike) -> None:
-    """Write ``trace`` to ``path`` in JSON-lines format (``.gz`` = gzipped)."""
+    """Write ``trace`` to ``path`` in JSON-lines format (``.gz`` = gzipped).
+
+    The write is atomic (``mkstemp`` temp file in the destination directory,
+    then ``os.replace``): a process killed mid-write can never leave a
+    truncated trace behind, and concurrent readers only ever observe the old
+    file or the complete new one.  Compression follows the *destination*
+    suffix, not the temp file's.
+    """
     path = Path(path)
-    with _open(path, "w") as handle:
-        header = {"trace": trace.name, "metadata": trace.metadata}
-        handle.write(json.dumps(header) + "\n")
-        for task in trace:
-            record = {
-                "seq": task.sequence,
-                "kernel": task.kernel,
-                "runtime_cycles": task.runtime_cycles,
-                "operands": [_operand_to_json(op) for op in task.operands],
-            }
-            if task.creation_cycles is not None:
-                record["creation_cycles"] = task.creation_cycles
-            handle.write(json.dumps(record) + "\n")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        raw = os.fdopen(fd, "wb")
+        if path.suffix == ".gz":
+            handle: IO[str] = gzip.open(raw, "wt", encoding="utf-8")
+        else:
+            handle = io.TextIOWrapper(raw, encoding="utf-8")
+        try:
+            header = {"trace": trace.name, "metadata": trace.metadata}
+            handle.write(json.dumps(header) + "\n")
+            for task in trace:
+                record = {
+                    "seq": task.sequence,
+                    "kernel": task.kernel,
+                    "runtime_cycles": task.runtime_cycles,
+                    "operands": [_operand_to_json(op) for op in task.operands],
+                }
+                if task.creation_cycles is not None:
+                    record["creation_cycles"] = task.creation_cycles
+                handle.write(json.dumps(record) + "\n")
+        finally:
+            handle.close()
+            raw.close()
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
 
 
 def _parse_header_line(line: str, path: Path) -> dict:

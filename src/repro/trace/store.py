@@ -26,21 +26,31 @@ versioned (:data:`repro.trace.packed.PACKED_FORMAT_VERSION`), and corrupt or
 stale files read as misses, which makes the store safe for concurrent
 writers: two processes baking the same trace race benignly to an identical
 file.
+
+Integrity: a corrupt entry (bad magic, truncated columns, trailing bytes) is
+never a *silent* miss -- it is counted (``store.corrupt``), moved to
+``<root>/quarantine/`` with a reason sidecar, and reported via
+:class:`~repro.common.errors.ArtifactIntegrityWarning`; the caller re-bakes
+exactly as for a plain miss.  A readable entry of an older
+:data:`PACKED_FORMAT_VERSION` is a plain miss (stale, not damaged) and is
+left in place for :meth:`TraceStore.gc`.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.common.errors import TraceFormatError
+from repro.common.errors import ArtifactIntegrityWarning, TraceFormatError
+from repro.common.fileio import quarantine_file
 from repro.common.hashing import content_digest
-from repro.trace.packed import (PACKED_FORMAT_VERSION, PackedTaskTrace,
-                                pack_trace, read_packed, read_packed_header,
-                                write_packed)
+from repro.trace.packed import (PACKED_FORMAT_VERSION, PACKED_MAGIC,
+                                PackedTaskTrace, pack_trace, read_packed,
+                                read_packed_header, write_packed)
 from repro.trace.records import TaskTrace
 
 #: Bump when the key derivation changes (forces a clean re-bake).
@@ -119,6 +129,10 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.bakes = 0
+        #: Corrupt entries found (and quarantined) by this store instance.
+        self.corrupt = 0
+        #: Where those entries went (parallel list of quarantine paths).
+        self.quarantined: List[Path] = []
         #: Bytes freed (or, on a dry run, that would be freed) by the most
         #: recent :meth:`gc` call.
         self.last_gc_bytes = 0
@@ -134,18 +148,53 @@ class TraceStore:
         """Entry path for ``digest`` (two-level fan-out like the result cache)."""
         return self.root / digest[:2] / f"{digest}{ENTRY_SUFFIX}"
 
+    def quarantine_dir(self) -> Path:
+        """Where this store's corrupt entries are moved for post-mortem."""
+        return self.root / "quarantine"
+
     # -- Entries -----------------------------------------------------------
+
+    def _stale_version(self, path: Path) -> bool:
+        """True when ``path`` is a well-formed trace of a *different* format
+        version -- stale, not damaged, so it must not be quarantined."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read(8)
+        except OSError:
+            return False
+        return (len(raw) == 8 and raw[:4] == PACKED_MAGIC
+                and int.from_bytes(raw[4:8], "little") != PACKED_FORMAT_VERSION)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Count, move and warn about one corrupt entry."""
+        self.corrupt += 1
+        moved = quarantine_file(path, self.quarantine_dir(), reason)
+        if moved is not None:
+            self.quarantined.append(moved)
+        warnings.warn(
+            f"corrupt packed trace {path.name} ({reason}); quarantined to "
+            f"{moved if moved is not None else '<already gone>'} and the "
+            "trace will be re-baked",
+            ArtifactIntegrityWarning, stacklevel=3)
+
+    def _classify_failure(self, path: Path, error: TraceFormatError) -> None:
+        """Quarantine a failed read unless it was absence or staleness."""
+        if not path.exists() or self._stale_version(path):
+            return
+        self._quarantine(path, str(error))
 
     def get(self, digest: str) -> Optional[PackedTaskTrace]:
         """Load the packed trace for ``digest``, or ``None`` on a miss.
 
-        Missing, truncated, corrupt and version-mismatched files all count as
-        misses, so stale artifacts never poison newer code -- the caller just
-        re-bakes.
+        Missing and version-mismatched files are plain misses; corrupt files
+        (truncated columns, bad magic, mangled header) are quarantined and
+        reported first.  Either way the caller just re-bakes.
         """
+        path = self.path_for(digest)
         try:
-            packed = read_packed(self.path_for(digest))
-        except TraceFormatError:
+            packed = read_packed(path)
+        except TraceFormatError as exc:
+            self._classify_failure(path, exc)
             self.misses += 1
             return None
         self.hits += 1
@@ -154,14 +203,33 @@ class TraceStore:
     def put(self, digest: str, trace: Union[PackedTaskTrace, TaskTrace],
             params: Optional[Dict[str, ParamScalar]] = None) -> Path:
         """Atomically persist ``trace`` under ``digest``; returns the path."""
-        return write_packed(trace, self.path_for(digest),
+        path = write_packed(trace, self.path_for(digest),
                             annotations={"trace_params": params} if params else None)
+        from repro.sweep.faults import fire as fire_fault
+        fault = fire_fault("trace_corrupt")
+        if fault is not None:
+            # Injected bit rot: flip bytes in the middle of the entry we just
+            # baked (deterministic -- no randomness, just position).
+            raw = bytearray(path.read_bytes())
+            for offset in range(len(raw) // 2, min(len(raw) // 2 + 8, len(raw))):
+                raw[offset] ^= 0xFF
+            path.write_bytes(bytes(raw))
+        return path
 
     def contains(self, digest: str) -> bool:
-        """True if ``digest`` has a readable, current-version entry."""
+        """True if ``digest`` has a readable, current-version entry.
+
+        Corrupt entries are quarantined here too: ``contains`` gates the
+        parent-side pre-bake, so leaving a damaged file in place would let
+        the fan-out dispatch workers against a trace none of them can load.
+        """
+        path = self.path_for(digest)
         try:
-            read_packed_header(self.path_for(digest))
-        except (TraceFormatError, OSError):
+            read_packed_header(path)
+        except TraceFormatError as exc:
+            self._classify_failure(path, exc)
+            return False
+        except OSError:
             return False
         return True
 

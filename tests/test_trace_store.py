@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common.errors import ArtifactIntegrityWarning
 from repro.common.hashing import content_digest
 from repro.trace.packed import PACKED_FORMAT_VERSION, pack_trace
 from repro.trace.records import TaskTrace
@@ -75,23 +76,33 @@ class TestStore:
         digest = "cd" * 32
         store.put(digest, chain_trace(3))
         store.path_for(digest).write_bytes(b"garbage")
-        assert store.get(digest) is None
+        with pytest.warns(ArtifactIntegrityWarning):
+            assert store.get(digest) is None
         assert not store.contains(digest)
+        assert store.corrupt == 1
 
     def test_truncated_columns_read_as_miss_everywhere(self, tmp_path):
         """A valid header stapled to truncated column bytes must not count as
-        present, or the parent would skip baking while workers regenerate."""
+        present, or the parent would skip baking while workers regenerate.
+        The first probe to notice the damage also quarantines the file, so
+        the digest path is clear for the re-bake and ``gc`` has nothing left
+        to collect."""
         store = TraceStore(tmp_path)
         digest = "99" * 32
         store.put(digest, chain_trace(4))
         path = store.path_for(digest)
         path.write_bytes(path.read_bytes()[:-16])
-        assert not store.contains(digest)
+        with pytest.warns(ArtifactIntegrityWarning, match="quarantined"):
+            assert not store.contains(digest)
         assert store.get(digest) is None
         assert len(store) == 0
         assert store.entries() == []
-        removed = store.gc()
-        assert [p.stem for p in removed] == [digest]
+        assert store.gc() == []
+        assert store.corrupt == 1
+        assert not path.exists()
+        [moved] = store.quarantined
+        assert moved.parent == store.quarantine_dir()
+        assert moved.read_bytes()  # the evidence is preserved, not deleted
 
     def test_stale_format_version_reads_as_miss(self, tmp_path):
         store = TraceStore(tmp_path)
