@@ -20,8 +20,8 @@ from repro.common.units import cycles_to_ns, cycles_to_us
 from repro.cores.core import WorkerCore
 from repro.cores.generator import TaskGeneratingThread
 from repro.backend.scheduler import TaskScheduler
-from repro.frontend.pipeline import TaskSuperscalarFrontend
 from repro.runtime.taskgraph import build_dependency_graph
+from repro.topology import TaskRouter, build_frontends
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsCollector
 from repro.trace.records import TaskTrace
@@ -46,6 +46,14 @@ class SimulationResult:
     generator_stall_cycles: int
     core_utilization: float
     stats: Dict[str, float] = field(default_factory=dict)
+    # Topology metrics (defaults keep results from single-frontend machines
+    # and pre-topology cache entries loadable).
+    num_frontends: int = 1
+    per_frontend_tasks_decoded: List[int] = field(default_factory=list)
+    per_frontend_decode_rate_cycles: List[float] = field(default_factory=list)
+    tasks_stolen: int = 0
+    steals_by_cluster: List[int] = field(default_factory=list)
+    inter_frontend_forwards: int = 0
 
     @property
     def speedup(self) -> float:
@@ -80,16 +88,28 @@ class TaskSuperscalarSystem:
         #: cycle-resolved telemetry but never changes simulation results
         #: (observers only read state; see :mod:`repro.obs`).
         self.observer = observer
-        self.frontend = TaskSuperscalarFrontend(self.engine, self.config.frontend,
-                                                self.stats)
+        topology = self.config.topology
+        self.topology = topology
+        self.frontends, self.fabric = build_frontends(
+            self.engine, self.config.frontend, topology, self.stats)
+        #: First pipeline; *the* pipeline on a single-frontend machine.
+        self.frontend = self.frontends[0]
+        if topology.num_frontends > 1:
+            self.router = TaskRouter(self.frontends, topology, self.stats)
+        else:
+            # The generator talks to the lone gateway directly: the trivial
+            # topology carries no router state at all.
+            self.router = None
         self.cores = [WorkerCore(self.engine, i, self.stats)
                       for i in range(self.config.cmp.num_cores)]
         self.scheduler = TaskScheduler(self.engine, self.config.backend, self.cores,
-                                       self.frontend.ready_queue, self.frontend,
-                                       self.stats)
+                                       [fe.ready_queue for fe in self.frontends],
+                                       self.frontends, self.stats,
+                                       topology=topology)
         self.scheduler.on_task_complete = self._on_task_complete
         if observer is not None:
-            self.frontend.bind_observer(observer)
+            for fe in self.frontends:
+                fe.bind_observer(observer)
             self.scheduler.bind_observer(observer)
         self.memory_hierarchy = None
         if self.config.backend.model_data_transfers:
@@ -111,8 +131,35 @@ class TaskSuperscalarSystem:
     # -- Hooks -----------------------------------------------------------------------
 
     def _on_task_complete(self, task, record) -> None:
-        self.frontend.sample_occupancy()
-        self._window_peak = max(self._window_peak, self.frontend.window_occupancy())
+        if len(self.frontends) == 1:
+            self.frontend.sample_occupancy()
+            self._window_peak = max(self._window_peak,
+                                    self.frontend.window_occupancy())
+            return
+        total = 0
+        for fe in self.frontends:
+            fe.sample_occupancy()
+            total += fe.window_occupancy()
+        self._window_peak = max(self._window_peak, total)
+
+    # -- Aggregated measurements --------------------------------------------------------
+
+    def _tasks_decoded(self) -> int:
+        return sum(fe.tasks_decoded for fe in self.frontends)
+
+    def _decode_rate_cycles(self) -> float:
+        """Machine-wide decode rate: cycles between successive graph adds.
+
+        On a single-frontend machine this is exactly the pipeline's own
+        measurement; with several pipelines the decode streams are merged
+        first (the task graph grows whenever *any* pipeline decodes).
+        """
+        if len(self.frontends) == 1:
+            return self.frontend.decode_rate_cycles()
+        times = sorted(t for fe in self.frontends for t in fe.decode_times)
+        if len(times) < 2:
+            return 0.0
+        return (times[-1] - times[0]) / (len(times) - 1)
 
     # -- Execution --------------------------------------------------------------------
 
@@ -135,7 +182,8 @@ class TaskSuperscalarSystem:
         """
         if max_events is not None:
             self.engine.max_events = max_events
-        generator = TaskGeneratingThread(self.engine, trace, self.frontend,
+        submit_target = self.router if self.router is not None else self.frontend
+        generator = TaskGeneratingThread(self.engine, trace, submit_target,
                                          self.config.generator, self.stats)
         if self.observer is not None:
             generator.bind_observer(self.observer)
@@ -158,11 +206,12 @@ class TaskSuperscalarSystem:
                 gc.enable()
 
         if self.scheduler.tasks_completed != len(trace):
+            window = sum(fe.window_occupancy() for fe in self.frontends)
+            ready = sum(len(fe.ready_queue) for fe in self.frontends)
             raise SchedulingError(
                 f"simulation deadlocked: completed {self.scheduler.tasks_completed} of "
-                f"{len(trace)} tasks (decoded {self.frontend.tasks_decoded}, "
-                f"window {self.frontend.window_occupancy()}, "
-                f"ready queue {len(self.frontend.ready_queue)})"
+                f"{len(trace)} tasks (decoded {self._tasks_decoded()}, "
+                f"window {window}, ready queue {ready})"
             )
 
         if validate:
@@ -173,29 +222,49 @@ class TaskSuperscalarSystem:
             graph.validate_schedule(starts, finishes, renamed=True)
 
         makespan = self.scheduler.last_completion_time
-        self.frontend.record_module_utilization(makespan)
-        occupancy_acc = self.stats.accumulators.get("frontend.window_occupancy")
-        window_mean = occupancy_acc.mean if occupancy_acc and occupancy_acc.count else 0.0
+        for fe in self.frontends:
+            fe.record_module_utilization(makespan)
+        # The machine-wide mean window occupancy is the sum of the pipelines'
+        # means: every completion samples all pipelines at the same instant,
+        # so the per-pipeline accumulators share one sample count.  With one
+        # pipeline (empty prefix) this reads the legacy key unchanged.
+        window_mean = 0.0
+        for fe in self.frontends:
+            acc = self.stats.accumulators.get(
+                fe.prefix + "frontend.window_occupancy")
+            if acc is not None and acc.count:
+                window_mean += acc.mean
         busy = sum(core.busy_cycles for core in self.cores)
         utilization = 0.0
         if makespan > 0:
             utilization = busy / (makespan * len(self.cores))
+        decode_rate = self._decode_rate_cycles()
         return SimulationResult(
             trace_name=trace.name,
             num_tasks=len(trace),
             num_cores=len(self.cores),
             makespan_cycles=makespan,
             sequential_cycles=trace.total_runtime_cycles,
-            decode_rate_cycles=self.frontend.decode_rate_cycles(),
-            decode_rate_ns=self.frontend.decode_rate_ns(self.config.cmp.clock_ghz),
-            tasks_decoded=self.frontend.tasks_decoded,
+            decode_rate_cycles=decode_rate,
+            decode_rate_ns=cycles_to_ns(decode_rate, self.config.cmp.clock_ghz),
+            tasks_decoded=self._tasks_decoded(),
             tasks_completed=self.scheduler.tasks_completed,
             window_peak_tasks=self._window_peak,
             window_mean_tasks=window_mean,
-            ready_queue_peak=self.frontend.ready_queue.peak_depth,
+            ready_queue_peak=max(fe.ready_queue.peak_depth
+                                 for fe in self.frontends),
             generator_stall_cycles=generator.stall_cycles,
             core_utilization=utilization,
             stats=self.stats.summary(),
+            num_frontends=self.topology.num_frontends,
+            per_frontend_tasks_decoded=[fe.tasks_decoded
+                                        for fe in self.frontends],
+            per_frontend_decode_rate_cycles=[fe.decode_rate_cycles()
+                                             for fe in self.frontends],
+            tasks_stolen=self.scheduler.tasks_stolen,
+            steals_by_cluster=list(self.scheduler.steals_by_cluster),
+            inter_frontend_forwards=(self.fabric.forwards
+                                     if self.fabric is not None else 0),
         )
 
 

@@ -18,7 +18,9 @@ Python:
 * ``python -m repro sweep --workload Cholesky --axis frontend.num_trs=1,4,16
   --axis num_cores=64,256 --jobs 4`` -- run a declarative parameter sweep
   over a worker pool, caching every simulated point under ``--artifacts`` so
-  interrupted sweeps resume without recomputation (see :mod:`repro.sweep`).
+  interrupted sweeps resume without recomputation (see :mod:`repro.sweep`);
+  ``topology.*`` axes (e.g. ``--axis topology.num_frontends=1,2,4``) sweep
+  multi-frontend machine shapes (:mod:`repro.topology`).
 * ``python -m repro synth list|stress`` -- inspect the synthetic task-graph
   families and run the design-space stress campaigns
   (:mod:`repro.experiments.synthetic_stress`).
@@ -304,9 +306,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         for knob, value in shared.items():
             print(f"  {knob} (default {value!r})")
         overrides = []
+        unset = object()
         for cls in SYNTHETIC_FAMILIES:
+            # Knobs absent from the shared base (e.g. skewed_lanes' ``skew``)
+            # are family-specific and always worth listing.
             diffs = {knob: value for knob, value in cls().params().items()
-                     if value != shared[knob]}
+                     if value != shared.get(knob, unset)}
             if diffs:
                 rendered = ", ".join(f"{k}={v!r}" for k, v in diffs.items())
                 overrides.append(f"  {cls.spec.name}: {rendered}")

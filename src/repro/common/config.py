@@ -339,6 +339,94 @@ class SoftwareRuntimeConfig:
             raise ConfigurationError("window_tasks must be positive or None")
 
 
+#: Valid task-stream sharding policies for multi-frontend topologies.
+SHARD_POLICIES = ("round_robin", "hash_by_object", "hash_by_kernel")
+
+#: Valid backend work-stealing policies.
+STEAL_POLICIES = ("none", "random", "nearest")
+
+
+@dataclass
+class TopologyConfig:
+    """Machine topology: how many frontend pipelines, and how work moves.
+
+    The paper evaluates a single frontend pipeline feeding many cores but
+    frames the frontend as a distributed, scalable structure (Section IV).
+    This section opens that scenario space: ``num_frontends`` independent
+    pipelines shard the task stream behind a :class:`repro.topology.TaskRouter`,
+    cross-pipeline dependency traffic travels as explicit
+    :class:`~repro.frontend.messages.InterFrontendForward` messages charged
+    ``forward_latency_cycles`` each, and the backend partitions its cores into
+    one cluster per frontend with optional work stealing between cluster
+    ready queues.
+
+    The trivial topology (``num_frontends=1``, ``steal_policy="none"``) is
+    guaranteed bit-identical to the pre-topology machine: no router events,
+    no forward messages, no extra stat keys.
+    """
+
+    #: Number of independent frontend pipelines sharding the task stream.
+    num_frontends: int = 1
+
+    #: How the router assigns submitted tasks to frontends: ``round_robin``
+    #: (submission order), ``hash_by_object`` (first memory operand's
+    #: address), or ``hash_by_kernel`` (kernel name).
+    shard_policy: str = "round_robin"
+
+    #: How idle backend clusters take work from other clusters' ready queues:
+    #: ``none`` (strict affinity, the paper's machine), ``random`` (seeded
+    #: uniform victim choice) or ``nearest`` (ring scan from the thief).
+    steal_policy: str = "none"
+
+    #: Scales each pipeline's TRS/ORT/OVT module counts, so aggregate
+    #: capacity can be held constant while sharding (e.g. ``0.5`` with two
+    #: frontends) or grown with the frontend count (the default ``1.0``).
+    capacity_scale: float = 1.0
+
+    #: Latency charged on every inter-frontend forward message (cross-shard
+    #: operand lookups, dependency forwards, remote completions).
+    forward_latency_cycles: int = 8
+
+    def validate(self) -> None:
+        if self.num_frontends <= 0:
+            raise ConfigurationError(
+                f"num_frontends must be positive, got {self.num_frontends}")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ConfigurationError(
+                f"shard_policy must be one of {SHARD_POLICIES}, "
+                f"got {self.shard_policy!r}")
+        if self.steal_policy not in STEAL_POLICIES:
+            raise ConfigurationError(
+                f"steal_policy must be one of {STEAL_POLICIES}, "
+                f"got {self.steal_policy!r}")
+        if self.capacity_scale <= 0:
+            raise ConfigurationError(
+                f"capacity_scale must be positive, got {self.capacity_scale}")
+        if self.forward_latency_cycles < 0:
+            raise ConfigurationError(
+                "forward_latency_cycles must be non-negative, "
+                f"got {self.forward_latency_cycles}")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the single-pipeline, no-stealing (legacy) machine."""
+        return self.num_frontends == 1 and self.steal_policy == "none"
+
+    def scaled_frontend(self, frontend: FrontendConfig) -> FrontendConfig:
+        """Per-pipeline :class:`FrontendConfig` after ``capacity_scale``.
+
+        Module counts scale (min 1 of each); per-module capacities are left
+        untouched, so total capacity scales with ``num_frontends *
+        capacity_scale``.  Identity when ``capacity_scale == 1.0``.
+        """
+        if self.capacity_scale == 1.0:
+            return frontend
+        num_trs = max(1, round(frontend.num_trs * self.capacity_scale))
+        num_ort = max(1, round(frontend.num_ort * self.capacity_scale))
+        return replace(frontend, num_trs=num_trs, num_ort=num_ort,
+                       num_ovt=num_ort)
+
+
 @dataclass
 class SimulationConfig:
     """Top-level configuration bundling all subsystems."""
@@ -350,6 +438,7 @@ class SimulationConfig:
     backend: BackendConfig = field(default_factory=BackendConfig)
     generator: TaskGeneratorConfig = field(default_factory=TaskGeneratorConfig)
     software: SoftwareRuntimeConfig = field(default_factory=SoftwareRuntimeConfig)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
     #: Seed for any stochastic elements of workload generation.
     seed: int = 0
@@ -363,6 +452,12 @@ class SimulationConfig:
         self.backend.validate()
         self.generator.validate()
         self.software.validate()
+        self.topology.validate()
+        if self.topology.num_frontends > self.cmp.num_cores:
+            raise ConfigurationError(
+                f"num_frontends ({self.topology.num_frontends}) cannot exceed "
+                f"num_cores ({self.cmp.num_cores}): every cluster needs at "
+                "least one core")
 
     def with_cores(self, num_cores: int) -> "SimulationConfig":
         """Return a copy of this configuration with a different core count."""
@@ -371,6 +466,10 @@ class SimulationConfig:
     def with_frontend(self, **kwargs) -> "SimulationConfig":
         """Return a copy with selected frontend fields overridden."""
         return replace(self, frontend=replace(self.frontend, **kwargs))
+
+    def with_topology(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with selected topology fields overridden."""
+        return replace(self, topology=replace(self.topology, **kwargs))
 
     def describe(self) -> Dict[str, str]:
         """Human-readable summary of the key parameters (used by Table II bench)."""

@@ -12,6 +12,9 @@ the CLI as ``repro campaign run|report|list``:
   operating point: ORT/OVT capacity halved, TRS (task-window) capacity
   halved, and an effectively unbounded window, each reported as
   baseline-relative deltas per metric per design point.
+* ``topology-scaling`` -- speedup vs. frontend count x shard policy (and
+  steal policy) over a regular and a deliberately imbalanced workload; the
+  driver lives in :mod:`repro.experiments.topology_scaling`.
 
 Both are incremental: every underlying point is an ordinary sweep point in
 the content-addressed result cache and every trace lives in the packed
@@ -23,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.experiments.topology_scaling import topology_scaling_campaign
 from repro.sweep.campaign import Ablation, Campaign
 from repro.sweep.spec import SweepSpec
 
@@ -103,6 +107,7 @@ CampaignFactory = Callable[..., Campaign]
 CAMPAIGNS: Dict[str, CampaignFactory] = {
     "design-space": design_space_campaign,
     "window-ablation": window_ablation_campaign,
+    "topology-scaling": topology_scaling_campaign,
 }
 
 #: One-line descriptions for ``repro campaign list``.
@@ -111,6 +116,8 @@ DESCRIPTIONS: Dict[str, str] = {
                     "synthetic workloads",
     "window-ablation": "ORT/OVT halved, TRS halved and unbounded window vs "
                        "the Table II baseline",
+    "topology-scaling": "speedup vs frontend count x shard policy (with and "
+                        "without work stealing)",
 }
 
 

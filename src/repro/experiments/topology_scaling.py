@@ -1,0 +1,150 @@
+"""Topology scaling study: speedup vs. frontend count x shard policy.
+
+The paper evaluates a single task-superscalar frontend, but frames it as a
+distributed structure that could be replicated (Section IV).  This campaign
+asks the follow-on question the :mod:`repro.topology` subsystem exists to
+answer: *does sharding the task stream across N pipelines pay for itself?*
+It sweeps ``topology.num_frontends`` against the sharding policy (and, for
+the full grid, the backend steal policy) over one regular workload
+(Cholesky, where round-robin keeps the shards balanced) and one deliberately
+imbalanced one (``skewed_lanes``, where stealing has to rescue the slow
+shard), and reports speedup per design point.
+
+The interesting comparisons the report surfaces:
+
+* ``num_frontends=1`` rows are the paper's machine (the bit-identical
+  trivial topology) -- the baseline every other row is judged against;
+* ``round_robin`` vs ``hash_by_object``: load balance vs dependency
+  locality (hashing by object keeps a renamed object's consumers on the
+  pipeline that owns its ORT shard, trading balance for fewer forwards);
+* ``steal_policy`` ``none`` vs ``nearest`` on the skewed workload: strict
+  cluster affinity strands idle cores exactly where the decode pressure
+  is lowest.
+
+Every point is an ordinary cached sweep point, so re-running the campaign
+recomputes nothing (the CI topology-smoke job runs it twice and asserts
+exactly that).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sweep.campaign import Campaign, CampaignReport, DEFAULT_METRICS
+from repro.sweep.spec import SweepSpec
+
+#: Seed ensemble shared with the other campaign drivers.
+DEFAULT_SEEDS = (0, 1, 2)
+
+#: Frontend counts swept by the full grid (powers of two, N=1 baseline).
+FRONTEND_COUNTS = (1, 2, 4)
+
+#: Shard policies compared (>= 2 per the study's acceptance criteria).
+SHARD_POLICIES_SWEPT = ("round_robin", "hash_by_object")
+
+#: Campaign metrics: the standard set plus the topology-specific counters
+#: (steals and fabric crossings explain *why* a point is fast or slow).
+METRICS = DEFAULT_METRICS + ("tasks_stolen", "inter_frontend_forwards")
+
+
+def topology_scaling_campaign(seeds: Sequence[int] = DEFAULT_SEEDS,
+                              quick: bool = False) -> Campaign:
+    """Build the ``topology-scaling`` campaign.
+
+    ``quick`` shrinks the grid to a 2-frontend stealing sweep over a scaled
+    Cholesky trace so two back-to-back runs (the zero-recompute check)
+    finish in CI time; the full grid adds 4 frontends, the imbalanced
+    ``skewed_lanes`` family and the steal-policy axis.
+    """
+    if quick:
+        workloads: Sequence[str] = ("Cholesky",)
+        frontends: Sequence[int] = (1, 2)
+        steals: Sequence[str] = ("nearest",)
+        base = {"scale_factor": 0.3, "max_tasks": 50, "fast_generator": True,
+                "num_cores": 16}
+    else:
+        workloads = ("Cholesky", "skewed_lanes:width=16,skew=6")
+        frontends = FRONTEND_COUNTS
+        steals = ("none", "nearest")
+        base = {"max_tasks": 400, "fast_generator": True, "num_cores": 64}
+    spec = SweepSpec(
+        name="scaling",
+        workloads=workloads,
+        axes={
+            "topology.shard_policy": SHARD_POLICIES_SWEPT,
+            "topology.steal_policy": steals,
+            "topology.num_frontends": frontends,
+        },
+        base=base,
+    )
+    return Campaign(name="topology-scaling", members=(spec,), seeds=seeds,
+                    metrics=METRICS)
+
+
+#: One speedup-vs-frontends series: (workload, shard policy, steal policy)
+#: -> ordered {num_frontends: (mean speedup, speedup relative to N=1)}.
+SeriesKey = Tuple[str, str, str]
+Series = "OrderedDict[int, Tuple[float, float]]"
+
+
+def speedup_series(report: CampaignReport) -> Dict[SeriesKey, "OrderedDict"]:
+    """Pivot a campaign report into speedup-vs-frontends series.
+
+    Groups the ``topology-scaling`` member's design points by (workload,
+    shard policy, steal policy) and orders each series by frontend count;
+    the second element of every value is the speedup relative to that
+    series' ``num_frontends=1`` point (``1.0`` at N=1, ``> 1`` when the
+    sharded machine wins).
+    """
+    member = report.member("scaling")
+    series: Dict[SeriesKey, "OrderedDict[int, float]"] = {}
+    for group in member.groups:
+        params = group.params
+        key = (str(params["workload"]),
+               str(params["topology.shard_policy"]),
+               str(params["topology.steal_policy"]))
+        bucket = series.setdefault(key, OrderedDict())
+        bucket[int(params["topology.num_frontends"])] = \
+            group.metrics["speedup"].mean
+    pivoted: Dict[SeriesKey, "OrderedDict"] = {}
+    for key, by_n in series.items():
+        ordered = OrderedDict(sorted(by_n.items()))
+        baseline = ordered.get(1)
+        pivoted[key] = OrderedDict(
+            (n, (mean, mean / baseline if baseline else float("nan")))
+            for n, mean in ordered.items())
+    return pivoted
+
+
+def format_speedup_table(report: CampaignReport) -> str:
+    """Render the speedup-vs-frontends series as a text table."""
+    lines: List[str] = []
+    lines.append("speedup vs num_frontends (relative column: vs N=1)")
+    header = f"  {'workload':34s} {'shard':15s} {'steal':8s}"
+    series = speedup_series(report)
+    counts = sorted({n for by_n in series.values() for n in by_n})
+    for n in counts:
+        header += f" {'N=' + str(n):>14s}"
+    lines.append(header)
+    for (workload, shard, steal), by_n in series.items():
+        row = f"  {workload:34s} {shard:15s} {steal:8s}"
+        for n in counts:
+            if n in by_n:
+                mean, rel = by_n[n]
+                row += f" {mean:>7.1f}x {rel:>4.2f}r"
+            else:
+                row += f" {'-':>14s}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "FRONTEND_COUNTS",
+    "METRICS",
+    "SHARD_POLICIES_SWEPT",
+    "format_speedup_table",
+    "speedup_series",
+    "topology_scaling_campaign",
+]

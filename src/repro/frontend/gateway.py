@@ -57,8 +57,9 @@ class PipelineGateway(PacketProcessor):
     """Timed model of the pipeline gateway."""
 
     def __init__(self, engine: Engine, config: FrontendConfig,
-                 stats: Optional[StatsCollector] = None):
-        super().__init__(engine, "gateway", stats)
+                 stats: Optional[StatsCollector] = None,
+                 name: str = "gateway"):
+        super().__init__(engine, name, stats)
         self.config = config
         #: Set by the pipeline assembly.
         self.trs_list: List = []
@@ -91,12 +92,12 @@ class PipelineGateway(PacketProcessor):
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
-        stats = self._stats
-        self._stat_submit_rejected = stats.counter_handle("gateway.submit_rejected")
-        self._stat_tasks_admitted = stats.counter_handle("gateway.tasks_admitted")
-        self._stat_window_full_waits = stats.counter_handle("gateway.window_full_waits")
-        self._stat_alloc_retries = stats.counter_handle("gateway.alloc_retries")
-        self._stat_tasks_issued = stats.counter_handle("gateway.tasks_issued")
+        scope = self.scope
+        self._stat_submit_rejected = scope.counter_handle("submit_rejected")
+        self._stat_tasks_admitted = scope.counter_handle("tasks_admitted")
+        self._stat_window_full_waits = scope.counter_handle("window_full_waits")
+        self._stat_alloc_retries = scope.counter_handle("alloc_retries")
+        self._stat_tasks_issued = scope.counter_handle("tasks_issued")
 
     def _bind_obs_handles(self) -> None:
         super()._bind_obs_handles()
@@ -110,11 +111,20 @@ class PipelineGateway(PacketProcessor):
 
     # -- Assembly -----------------------------------------------------------------
 
-    def attach(self, trs_list: List, orts: List) -> None:
-        """Wire the gateway to its TRSs and ORTs (called by the pipeline)."""
+    def attach(self, trs_list: List, orts: List,
+               local_trs: Optional[range] = None) -> None:
+        """Wire the gateway to its TRSs and ORTs (called by the pipeline).
+
+        In a multi-frontend topology ``trs_list``/``orts`` are *global*
+        directory views (remote modules appear as stubs) and ``local_trs``
+        restricts allocation to this pipeline's own TRS indices; by default
+        every listed TRS is local and allocatable.
+        """
         self.trs_list = trs_list
         self.orts = orts
-        self._free_trs = deque(range(len(trs_list)))
+        if local_trs is None:
+            local_trs = range(len(trs_list))
+        self._free_trs = deque(local_trs)
 
     # -- Task-generating-thread interface ----------------------------------------
 

@@ -247,3 +247,27 @@ class TrsSpaceAvailable:
     """TRS -> Gateway: storage was freed; the TRS can accept allocations again."""
 
     trs_index: int
+
+
+# ---------------------------------------------------------------------------
+# Inter-frontend fabric (multi-pipeline topologies)
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class InterFrontendForward:
+    """Envelope for a protocol message crossing frontend pipelines.
+
+    With ``topology.num_frontends > 1`` the TRS/ORT/OVT directories are
+    partitioned across pipelines but globally indexed, so any module may need
+    to message a module living in another pipeline (cross-shard operand
+    lookups, dependency forwards, remote version releases).  The
+    :class:`repro.topology.InterFrontendFabric` wraps such messages in this
+    envelope and delivers the ``payload`` to the destination module after
+    ``topology.forward_latency_cycles`` -- the explicit cost of leaving a
+    pipeline's local interconnect.  Never created in a single-frontend
+    topology.
+    """
+
+    payload: object
+    src_frontend: int
+    dst_frontend: int

@@ -67,14 +67,13 @@ class ObjectRenamingTable(PacketProcessor):
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
-        stats = self._stats
-        name = self.name
-        self._stat_gateway_stalls = stats.counter_handle(f"{name}.gateway_stalls")
-        self._stat_reader_hits = stats.counter_handle(f"{name}.reader_hits")
-        self._stat_reader_misses = stats.counter_handle(f"{name}.reader_misses")
-        self._stat_writer_decodes = stats.counter_handle(f"{name}.writer_decodes")
-        self._stat_inout_decodes = stats.counter_handle(f"{name}.inout_decodes")
-        self._stat_entries_released = stats.counter_handle(f"{name}.entries_released")
+        scope = self.scope
+        self._stat_gateway_stalls = scope.counter_handle("gateway_stalls")
+        self._stat_reader_hits = scope.counter_handle("reader_hits")
+        self._stat_reader_misses = scope.counter_handle("reader_misses")
+        self._stat_writer_decodes = scope.counter_handle("writer_decodes")
+        self._stat_inout_decodes = scope.counter_handle("inout_decodes")
+        self._stat_entries_released = scope.counter_handle("entries_released")
 
     def _bind_obs_handles(self) -> None:
         super()._bind_obs_handles()

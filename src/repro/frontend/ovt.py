@@ -61,19 +61,16 @@ class ObjectVersioningTable(PacketProcessor):
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
-        stats = self._stats
-        name = self.name
-        self._stat_gateway_stalls = stats.counter_handle(f"{name}.gateway_stalls")
-        self._stat_reader_miss_versions = stats.counter_handle(
-            f"{name}.reader_miss_versions")
-        self._stat_renames = stats.counter_handle(f"{name}.renames")
-        self._stat_inout_waits = stats.counter_handle(f"{name}.inout_waits")
-        self._stat_inout_immediate = stats.counter_handle(f"{name}.inout_immediate")
-        self._stat_use_after_release = stats.counter_handle(
-            f"{name}.use_after_release")
-        self._stat_inout_released = stats.counter_handle(f"{name}.inout_released")
-        self._stat_versions_released = stats.counter_handle(
-            f"{name}.versions_released")
+        scope = self.scope
+        self._stat_gateway_stalls = scope.counter_handle("gateway_stalls")
+        self._stat_reader_miss_versions = scope.counter_handle(
+            "reader_miss_versions")
+        self._stat_renames = scope.counter_handle("renames")
+        self._stat_inout_waits = scope.counter_handle("inout_waits")
+        self._stat_inout_immediate = scope.counter_handle("inout_immediate")
+        self._stat_use_after_release = scope.counter_handle("use_after_release")
+        self._stat_inout_released = scope.counter_handle("inout_released")
+        self._stat_versions_released = scope.counter_handle("versions_released")
 
     def _bind_obs_handles(self) -> None:
         super()._bind_obs_handles()

@@ -31,46 +31,91 @@ from repro.trace.records import TaskRecord
 
 
 class TaskSuperscalarFrontend:
-    """The distributed frontend: gateway + TRSs + ORTs + OVTs + ready queue."""
+    """The distributed frontend: gateway + TRSs + ORTs + OVTs + ready queue.
+
+    In a multi-frontend topology (:mod:`repro.topology`) each pipeline is one
+    instance of this class, identified by ``instance`` and publishing its
+    per-pipeline metrics under an ``fe<instance>.`` prefix.  Its TRS/ORT/OVT
+    modules then carry *global* directory indices (``trs_base + i`` /
+    ``ort_base + i``) so that structural IDs route unchanged across
+    pipelines, and :meth:`wire` is called with global directory views in
+    which remote modules appear as forwarding stubs.  The single-frontend
+    default (instance 0, empty prefix, local self-wiring) is exactly the
+    legacy machine.
+    """
 
     def __init__(self, engine: Engine, config: FrontendConfig,
-                 stats: Optional[StatsCollector] = None):
+                 stats: Optional[StatsCollector] = None, instance: int = 0,
+                 num_frontends: int = 1, trs_base: int = 0, ort_base: int = 0,
+                 wire: bool = True):
         config.validate()
         self.engine = engine
         self.config = config
         self.stats = stats if stats is not None else StatsCollector()
+        self.instance = instance
+        self.num_frontends = num_frontends
+        self.trs_base = trs_base
+        self.ort_base = ort_base
+        #: Stat/probe namespace; empty for the (legacy) single-frontend case.
+        self.prefix = "" if num_frontends == 1 else f"fe{instance}."
 
-        self.gateway = PipelineGateway(engine, config, self.stats)
-        self.ready_queue = ReadyQueue(engine, config, self.stats)
+        prefix = self.prefix
+        self.gateway = PipelineGateway(engine, config, self.stats,
+                                       name=prefix + "gateway")
+        self.ready_queue = ReadyQueue(engine, config, self.stats,
+                                      name=prefix + "ready_queue")
         self.trs_list: List[TaskReservationStation] = [
-            TaskReservationStation(engine, i, config, self.stats)
+            TaskReservationStation(engine, trs_base + i, config, self.stats)
             for i in range(config.num_trs)
         ]
         self.orts: List[ObjectRenamingTable] = [
-            ObjectRenamingTable(engine, i, config, self.stats)
+            ObjectRenamingTable(engine, ort_base + i, config, self.stats)
             for i in range(config.num_ort)
         ]
         self.ovts: List[ObjectVersioningTable] = [
-            ObjectVersioningTable(engine, i, config, self.stats)
+            ObjectVersioningTable(engine, ort_base + i, config, self.stats)
             for i in range(config.num_ovt)
         ]
-
-        self.gateway.attach(self.trs_list, self.orts)
-        for ort, ovt in zip(self.orts, self.ovts):
-            ort.attach(ovt, self.trs_list, self.gateway)
-            ovt.attach(ort, self.trs_list, self.gateway)
-        for trs in self.trs_list:
-            trs.attach(self.trs_list, self.ovts, self.gateway, self.ready_queue)
-            trs.on_task_decoded = self._record_decode
 
         #: Decode timestamps, in simulation cycles, in decode-completion order.
         self.decode_times: List[int] = []
 
         # Pre-bound metric handles for the per-task measurement paths.
-        self._stat_tasks_decoded = self.stats.counter_handle("frontend.tasks_decoded")
-        self._stat_window_samples = self.stats.sampler_handle("frontend.window_tasks")
+        self._stat_tasks_decoded = self.stats.counter_handle(
+            prefix + "frontend.tasks_decoded")
+        self._stat_window_samples = self.stats.sampler_handle(
+            prefix + "frontend.window_tasks")
         self._stat_window_occupancy = self.stats.accumulator_handle(
-            "frontend.window_occupancy")
+            prefix + "frontend.window_occupancy")
+
+        if wire:
+            self.wire()
+
+    # -- Assembly --------------------------------------------------------------------
+
+    def wire(self, trs_view: Optional[List] = None,
+             ort_view: Optional[List] = None,
+             ovt_view: Optional[List] = None,
+             pressure_sink=None, local_trs: Optional[range] = None) -> None:
+        """Connect the pipeline's modules through the given directory views.
+
+        Without arguments (the single-frontend case) every view is the
+        pipeline's own module list and capacity back-pressure targets its own
+        gateway.  A multi-frontend assembly passes global views (remote
+        modules as stubs), a broadcast ``pressure_sink`` and the range of
+        global TRS indices this pipeline's gateway may allocate from.
+        """
+        trs_view = trs_view if trs_view is not None else self.trs_list
+        ort_view = ort_view if ort_view is not None else self.orts
+        ovt_view = ovt_view if ovt_view is not None else self.ovts
+        sink = pressure_sink if pressure_sink is not None else self.gateway
+        self.gateway.attach(trs_view, ort_view, local_trs=local_trs)
+        for ort, ovt in zip(self.orts, self.ovts):
+            ort.attach(ovt, trs_view, sink)
+            ovt.attach(ort, trs_view, sink)
+        for trs in self.trs_list:
+            trs.attach(trs_view, ovt_view, self.gateway, self.ready_queue)
+            trs.on_task_decoded = self._record_decode
 
     # -- Task-generating-thread interface -------------------------------------------
 
@@ -89,9 +134,14 @@ class TaskSuperscalarFrontend:
     # -- Backend interface ---------------------------------------------------------------
 
     def notify_finished(self, task: TaskID, latency: int = 0) -> None:
-        """Tell the owning TRS that ``task`` completed execution."""
-        self.engine.schedule_unref(latency, self.trs_list[task.trs].receive,
-                                   TaskFinished(task))
+        """Tell the owning TRS that ``task`` completed execution.
+
+        ``task.trs`` is a global index; the scheduler routes completions to
+        the owning pipeline, so the TRS is always local here.
+        """
+        self.engine.schedule_unref(
+            latency, self.trs_list[task.trs - self.trs_base].receive,
+            TaskFinished(task))
 
     # -- Measurements ----------------------------------------------------------------------
 
@@ -152,11 +202,12 @@ class TaskSuperscalarFrontend:
             # every advance interval, and summing mapped lens is several
             # times cheaper than the window_occupancy property chain.
             tables = [trs._tasks for trs in self.trs_list]
-            observer.add_probe("frontend.window_tasks",
+            prefix = self.prefix
+            observer.add_probe(prefix + "frontend.window_tasks",
                                lambda _tables=tables: sum(map(len, _tables)))
-            observer.add_probe("gateway.buffer",
+            observer.add_probe(prefix + "gateway.buffer",
                                lambda: self.gateway.buffer_occupancy)
-            observer.add_probe("ready_queue.depth",
+            observer.add_probe(prefix + "ready_queue.depth",
                                lambda: len(self.ready_queue))
 
     def record_module_utilization(self, elapsed_cycles: int) -> None:

@@ -23,8 +23,9 @@ class ReadyQueue(PacketProcessor):
     """FIFO of ready tasks feeding the backend scheduler."""
 
     def __init__(self, engine: Engine, config: FrontendConfig,
-                 stats: Optional[StatsCollector] = None):
-        super().__init__(engine, "ready_queue", stats)
+                 stats: Optional[StatsCollector] = None,
+                 name: str = "ready_queue"):
+        super().__init__(engine, name, stats)
         self.config = config
         self._ready_tasks: Deque[TaskReady] = deque()
         #: Callback invoked (with no arguments) whenever a task is enqueued.
@@ -35,8 +36,8 @@ class ReadyQueue(PacketProcessor):
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
-        self._stat_enqueued = self._stats.counter_handle("ready_queue.enqueued")
-        self._stat_dequeued = self._stats.counter_handle("ready_queue.dequeued")
+        self._stat_enqueued = self.scope.counter_handle("enqueued")
+        self._stat_dequeued = self.scope.counter_handle("dequeued")
 
     # -- PacketProcessor interface ----------------------------------------------------
 

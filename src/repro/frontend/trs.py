@@ -168,20 +168,22 @@ class TaskReservationStation(PacketProcessor):
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
-        stats = self._stats
-        name = self.name
-        self._stat_alloc_rejected = stats.counter_handle(f"{name}.alloc_rejected")
-        self._stat_tasks_allocated = stats.counter_handle(f"{name}.tasks_allocated")
-        self._stat_scalar_operands = stats.counter_handle(f"{name}.scalar_operands")
-        self._stat_operands_decoded = stats.counter_handle(f"{name}.operands_decoded")
-        self._stat_consumer_registrations = stats.counter_handle(
-            f"{name}.consumer_registrations")
-        self._stat_ready_forwarded = stats.counter_handle(f"{name}.ready_forwarded")
-        self._stat_data_ready = stats.counter_handle(f"{name}.data_ready")
-        self._stat_tasks_decoded = stats.counter_handle(f"{name}.tasks_decoded")
-        self._stat_tasks_ready = stats.counter_handle(f"{name}.tasks_ready")
-        self._stat_tasks_finished = stats.counter_handle(f"{name}.tasks_finished")
-        self._stat_chain_forwards = stats.histogram_handle("chain.forwards_per_task")
+        scope = self.scope
+        self._stat_alloc_rejected = scope.counter_handle("alloc_rejected")
+        self._stat_tasks_allocated = scope.counter_handle("tasks_allocated")
+        self._stat_scalar_operands = scope.counter_handle("scalar_operands")
+        self._stat_operands_decoded = scope.counter_handle("operands_decoded")
+        self._stat_consumer_registrations = scope.counter_handle(
+            "consumer_registrations")
+        self._stat_ready_forwarded = scope.counter_handle("ready_forwarded")
+        self._stat_data_ready = scope.counter_handle("data_ready")
+        self._stat_tasks_decoded = scope.counter_handle("tasks_decoded")
+        self._stat_tasks_ready = scope.counter_handle("tasks_ready")
+        self._stat_tasks_finished = scope.counter_handle("tasks_finished")
+        # Machine-wide histogram, deliberately unscoped: chain lengths are a
+        # property of the dependence structure, not of any one TRS tile.
+        self._stat_chain_forwards = self._stats.histogram_handle(
+            "chain.forwards_per_task")
 
     def _bind_obs_handles(self) -> None:
         super()._bind_obs_handles()

@@ -82,8 +82,13 @@ class SimModule:
         Called at construction and again whenever :attr:`stats` is
         reassigned.  Subclasses recording per-packet statistics override this
         (calling ``super()._bind_stat_handles()``) and bind their handles
-        here instead of formatting stat keys in the hot path.
+        here -- through :attr:`scope`, the module's name-prefixed stats view
+        -- instead of formatting stat keys in the hot path.
         """
+        #: Name-scoped stats view: ``self.scope.counter_handle("x")`` is the
+        #: shared cell for ``f"{self.name}.x"``.  Rebuilt with the handles so
+        #: late collector injection keeps it pointing at the right registry.
+        self.scope = self._stats.scoped(self.name + ".")
 
     def _bind_obs_handles(self) -> None:
         """Resolve this module's observability handles (same pattern as
@@ -183,11 +188,10 @@ class PacketProcessor(SimModule):
 
     def _bind_stat_handles(self) -> None:
         super()._bind_stat_handles()
-        stats = self._stats
-        name = self.name
-        self._stat_packets_received = stats.counter_handle(f"{name}.packets_received")
-        self._stat_packets_processed = stats.counter_handle(f"{name}.packets_processed")
-        self._stat_stalls = stats.counter_handle(f"{name}.stalls")
+        scope = self.scope
+        self._stat_packets_received = scope.counter_handle("packets_received")
+        self._stat_packets_processed = scope.counter_handle("packets_processed")
+        self._stat_stalls = scope.counter_handle("stalls")
 
     def _bind_obs_handles(self) -> None:
         super()._bind_obs_handles()
@@ -303,8 +307,7 @@ class PacketProcessor(SimModule):
         .record_module_utilization`), so decode-rate experiments can report
         which pipeline module saturates first.
         """
-        self.stats.record(f"{self.name}.utilization",
-                          self.utilization(elapsed_cycles))
+        self.scope.record("utilization", self.utilization(elapsed_cycles))
 
     # -- Subclass interface -----------------------------------------------------
 

@@ -196,6 +196,77 @@ class Sampler:
             self.stride *= 2
 
 
+class ScopedStats:
+    """A prefix-applying view of a :class:`StatsCollector`.
+
+    Returned by :meth:`StatsCollector.scoped`; every handle request and
+    string-keyed call prepends ``prefix`` to the metric name before
+    delegating, so a module can bind its stats once per instance
+    (``stats.scoped(f"{self.name}.")``) instead of hand-building
+    ``f"{self.name}.xxx"`` keys at every site.  With N module instances the
+    prefix is what keeps their metrics distinct -- duplicate hand-built names
+    would silently merge counters.
+
+    The view is resolution-only: handles returned through a scope are the
+    same shared cells the underlying collector would return for the full
+    name, so scoped and unscoped call sites interoperate.
+    """
+
+    __slots__ = ("_stats", "prefix")
+
+    def __init__(self, stats: "StatsCollector", prefix: str) -> None:
+        self._stats = stats
+        self.prefix = prefix
+
+    # -- Pre-bound handles ---------------------------------------------------
+
+    def counter_handle(self, name: str) -> Counter:
+        """The shared :class:`Counter` cell for ``prefix + name``."""
+        return self._stats.counter_handle(self.prefix + name)
+
+    def accumulator_handle(self, name: str) -> Accumulator:
+        """The shared :class:`Accumulator` for ``prefix + name``."""
+        return self._stats.accumulator_handle(self.prefix + name)
+
+    def histogram_handle(self, name: str) -> Histogram:
+        """The shared :class:`Histogram` for ``prefix + name``."""
+        return self._stats.histogram_handle(self.prefix + name)
+
+    def sampler_handle(self, name: str) -> Sampler:
+        """The shared :class:`Sampler` for ``prefix + name``."""
+        return self._stats.sampler_handle(self.prefix + name)
+
+    # -- String-keyed interface ----------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``prefix + name`` by ``amount``."""
+        self._stats.count(self.prefix + name, amount)
+
+    def record(self, name: str, value: float) -> None:
+        """Add ``value`` to accumulator ``prefix + name``."""
+        self._stats.record(self.prefix + name, value)
+
+    def observe(self, name: str, value: int, weight: int = 1) -> None:
+        """Add an observation to histogram ``prefix + name``."""
+        self._stats.observe(self.prefix + name, value, weight)
+
+    def sample(self, name: str, time: int, value: float) -> None:
+        """Record a time-stamped sample under ``prefix + name``."""
+        self._stats.sample(self.prefix + name, time, value)
+
+    def counter(self, name: str) -> int:
+        """Value of counter ``prefix + name`` (0 if never incremented)."""
+        return self._stats.counter(self.prefix + name)
+
+    def mean(self, name: str) -> float:
+        """Mean of accumulator ``prefix + name`` (0.0 if empty)."""
+        return self._stats.mean(self.prefix + name)
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """A nested scope: prefixes compose left to right."""
+        return ScopedStats(self._stats, self.prefix + prefix)
+
+
 class StatsCollector:
     """Shared statistics registry for a simulation run."""
 
@@ -233,6 +304,14 @@ class StatsCollector:
             sampler = Sampler(self.samples[name], cap=self.sample_cap)
             self._samplers[name] = sampler
         return sampler
+
+    def scoped(self, prefix: str) -> ScopedStats:
+        """A :class:`ScopedStats` view that prepends ``prefix`` to names.
+
+        ``prefix`` is used verbatim -- callers that want dotted namespacing
+        pass the trailing dot themselves (``stats.scoped("trs3.")``).
+        """
+        return ScopedStats(self, prefix)
 
     # -- String-keyed interface ---------------------------------------------
 

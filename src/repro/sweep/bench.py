@@ -88,6 +88,15 @@ SUITE: List[BenchScenario] = [
         quick_overrides={"scale_factor": 0.4, "max_tasks": 300},
     ),
     BenchScenario(
+        name="topology_n1",
+        description="cholesky with explicit trivial topology (router-free "
+                    "N=1 path must match the plain scenario's metrics)",
+        params={"workload": "Cholesky", "num_cores": 128, "scale_factor": 1.0,
+                "max_tasks": 2000, "seed": 0, "topology.num_frontends": 1,
+                "topology.steal_policy": "none"},
+        quick_overrides={"scale_factor": 0.4, "max_tasks": 300},
+    ),
+    BenchScenario(
         name="h264",
         description="Table 1 H264 (deep dependency chains, inout traffic)",
         params={"workload": "H264", "num_cores": 128, "scale_factor": 1.0,

@@ -49,7 +49,10 @@ from repro.sweep.spec import SweepPoint
 #: ``.samples_dropped``, so schema-2 entries would lack those keys.
 #: 4: entries carry a ``digest`` (sha256 of the canonical result JSON),
 #: verified on every read.
-SCHEMA_VERSION = 4
+#: 5: results carry topology metrics (``num_frontends``, per-frontend decode
+#: rates, steal counts, fabric forwards), so schema-4 entries would serve
+#: results without the topology contract.
+SCHEMA_VERSION = 5
 
 #: Default artifacts directory (relative to the working directory).
 DEFAULT_CACHE_ROOT = Path(".repro-artifacts") / "sweeps"

@@ -25,6 +25,10 @@ Parameter namespace
 ``backend.<field>``     Override one ``BackendConfig`` field.
 ``generator.<field>``   Override one ``TaskGeneratorConfig`` field.
 ``software.<field>``    Override one ``SoftwareRuntimeConfig`` field.
+``topology.<field>``    Override one ``TopologyConfig`` field (frontend
+                        count, shard/steal policy, capacity scale, forward
+                        latency) -- topologies are first-class, cache-keyed
+                        sweep axes.
 ``workload.<param>``    Pass one keyword argument to the workload generator
                         constructor (e.g. ``workload.dep_distance`` for the
                         synthetic families) -- structural knobs become sweep
@@ -79,7 +83,7 @@ DEFAULT_PARAMS: Dict[str, ParamValue] = {
 }
 
 #: Config sections that accept dotted overrides.
-OVERRIDE_SECTIONS = ("frontend", "backend", "generator", "software")
+OVERRIDE_SECTIONS = ("frontend", "backend", "generator", "software", "topology")
 
 #: Dotted section whose entries are forwarded to the workload generator
 #: constructor rather than the simulation config.

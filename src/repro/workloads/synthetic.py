@@ -196,12 +196,15 @@ class SyntheticWorkload(Workload):
 
     def _emit(self, builder: TraceBuilder,
               operands: Sequence[Tuple[MemoryObject, Direction]],
-              recent: Optional[Sequence[MemoryObject]] = None):
+              recent: Optional[Sequence[MemoryObject]] = None,
+              runtime_scale: float = 1.0):
         """Append one task: base operands + sampled extra inputs + runtime.
 
         ``recent`` is the pool of recently written objects the extra INPUT
         operands are drawn from; duplicates of the base operands are skipped
         and the total operand count never exceeds the TRS layout limit.
+        ``runtime_scale`` multiplies the sampled runtime (used by families
+        with structurally non-uniform task costs, e.g. ``skewed_lanes``).
         """
         ops = list(operands)
         if self.extra_inputs > 0 and recent:
@@ -215,8 +218,10 @@ class SyntheticWorkload(Workload):
             raise WorkloadError(
                 f"{self.spec.name}: task with {len(ops)} operands exceeds the "
                 f"{MAX_TASK_OPERANDS}-operand TRS layout")
-        return builder.add_task(self._profile, ops,
-                                runtime_cycles=self.runtime.sample_cycles(builder.rng))
+        cycles = self.runtime.sample_cycles(builder.rng)
+        if runtime_scale != 1.0:
+            cycles = max(1, round(cycles * runtime_scale))
+        return builder.add_task(self._profile, ops, runtime_cycles=cycles)
 
     def _output_object(self, builder: TraceBuilder, pool: Deque[MemoryObject],
                        label: str) -> MemoryObject:
@@ -495,7 +500,164 @@ class RandomDagWorkload(SyntheticWorkload):
             del recent[:-4 * self.width]
 
 
-#: The six families, in registration order.
+@register_workload(category=CATEGORY_SYNTHETIC)
+class Stencil2DWorkload(SyntheticWorkload):
+    """In-place 2-D cross stencil over a ``width x width`` grid.
+
+    Every task updates cell ``(i, j)`` in place (INOUT) while reading the
+    ``fanout``-radius cross neighbourhood (up/down/left/right), for ``depth *
+    scale`` time steps.  Object sharing between row- and column-neighbours
+    makes this the family whose dependency edges most resist clean sharding:
+    ``hash_by_object`` keeps each cell's WAW chain on one pipeline but every
+    cross neighbourhood straddles shards, driving inter-frontend forwards.
+    """
+
+    spec = _synthetic_spec("stencil2d", "In-place 2-D cross-stencil sweep")
+    kernel_name = "stencil2d"
+
+    #: 1 INOUT cell + 4 * radius cross reads must fit 19 operands.
+    _MAX_STENCIL_RADIUS = (MAX_TASK_OPERANDS - 1) // 4
+
+    def _validate_params(self) -> None:
+        super()._validate_params()
+        if self.fanout > self._MAX_STENCIL_RADIUS:
+            raise WorkloadError(
+                f"stencil2d fanout is the cross radius and must be <= "
+                f"{self._MAX_STENCIL_RADIUS}, got {self.fanout}")
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        steps = self.depth * scale
+        side = self.width
+        cells = builder.alloc_blocks(side * side, self.block_bytes, name="cell")
+        radius = self.fanout
+        recent: List[MemoryObject] = []
+        for _step in range(steps):
+            for i in range(side):
+                for j in range(side):
+                    ops = [(cells[i * side + j], Direction.INOUT)]
+                    for offset in range(1, radius + 1):
+                        if i - offset >= 0:
+                            ops.append((cells[(i - offset) * side + j],
+                                        Direction.INPUT))
+                        if i + offset < side:
+                            ops.append((cells[(i + offset) * side + j],
+                                        Direction.INPUT))
+                        if j - offset >= 0:
+                            ops.append((cells[i * side + j - offset],
+                                        Direction.INPUT))
+                        if j + offset < side:
+                            ops.append((cells[i * side + j + offset],
+                                        Direction.INPUT))
+                    self._emit(builder, ops[:MAX_TASK_OPERANDS], recent)
+                    recent.append(cells[i * side + j])
+            del recent[:-4 * self.width]
+
+
+@register_workload(category=CATEGORY_SYNTHETIC)
+class Stencil3DWorkload(SyntheticWorkload):
+    """In-place 3-D cross stencil over a ``width^3`` grid.
+
+    The 3-D analogue of :class:`Stencil2DWorkload`: each task updates one
+    voxel (INOUT) and reads the 6-point cross neighbourhood scaled by the
+    ``fanout`` radius.  The default side of 4 keeps the per-step task count
+    (``width^3``) comparable to the other families.
+    """
+
+    spec = _synthetic_spec("stencil3d", "In-place 3-D cross-stencil sweep")
+    kernel_name = "stencil3d"
+
+    default_width = 4
+
+    #: 1 INOUT voxel + 6 * radius cross reads must fit 19 operands.
+    _MAX_STENCIL_RADIUS = (MAX_TASK_OPERANDS - 1) // 6
+
+    def _validate_params(self) -> None:
+        super()._validate_params()
+        if self.fanout > self._MAX_STENCIL_RADIUS:
+            raise WorkloadError(
+                f"stencil3d fanout is the cross radius and must be <= "
+                f"{self._MAX_STENCIL_RADIUS}, got {self.fanout}")
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        steps = self.depth * scale
+        side = self.width
+        cells = builder.alloc_blocks(side * side * side, self.block_bytes,
+                                     name="voxel")
+        radius = self.fanout
+
+        def at(x: int, y: int, z: int) -> MemoryObject:
+            return cells[(x * side + y) * side + z]
+
+        recent: List[MemoryObject] = []
+        for _step in range(steps):
+            for x in range(side):
+                for y in range(side):
+                    for z in range(side):
+                        ops = [(at(x, y, z), Direction.INOUT)]
+                        for offset in range(1, radius + 1):
+                            for dx, dy, dz in ((-offset, 0, 0), (offset, 0, 0),
+                                               (0, -offset, 0), (0, offset, 0),
+                                               (0, 0, -offset), (0, 0, offset)):
+                                nx, ny, nz = x + dx, y + dy, z + dz
+                                if 0 <= nx < side and 0 <= ny < side \
+                                        and 0 <= nz < side:
+                                    ops.append((at(nx, ny, nz),
+                                                Direction.INPUT))
+                        self._emit(builder, ops[:MAX_TASK_OPERANDS], recent)
+                        recent.append(at(x, y, z))
+            del recent[:-4 * self.width]
+
+
+@register_workload(category=CATEGORY_SYNTHETIC)
+class SkewedLanesWorkload(SyntheticWorkload):
+    """Independent lanes with linearly skewed per-lane task runtimes.
+
+    ``width`` fully independent INOUT chains advance ``depth * scale`` steps;
+    lane ``l``'s tasks run ``1 + skew * l / (width - 1)`` times the sampled
+    runtime, so the last lane is ``1 + skew`` times heavier than the first.
+    Because each lane is one memory object, ``hash_by_object`` sharding maps
+    whole lanes to pipelines -- deliberately unbalancing per-shard load and
+    making this the stealing-friendly family: with ``steal_policy="none"``
+    the makespan tracks the heaviest shard, while stealing redistributes the
+    tail.  ``fanout`` > 1 couples each lane to ``fanout - 1`` lower-numbered
+    neighbours per step, letting the imbalance also generate cross-shard
+    dependency traffic.
+    """
+
+    spec = _synthetic_spec("skewed_lanes", "Runtime-skewed independent lanes")
+    kernel_name = "lane"
+
+    default_fanout = 1
+
+    def __init__(self, skew: float = 4.0, **kwargs):
+        self.skew = float(skew)
+        if self.skew < 0:
+            raise WorkloadError(f"skew must be >= 0, got {self.skew}")
+        super().__init__(**kwargs)
+
+    def params(self) -> Dict[str, object]:
+        params = super().params()
+        params["skew"] = self.skew
+        return params
+
+    def build(self, builder: TraceBuilder, scale: int) -> None:
+        steps = self.depth * scale
+        lanes = builder.alloc_blocks(self.width, self.block_bytes, name="lane")
+        span = max(1, self.width - 1)
+        recent: List[MemoryObject] = []
+        for _step in range(steps):
+            for c in range(self.width):
+                ops = [(lanes[c], Direction.INOUT)]
+                for k in range(1, min(self.fanout, self.width)):
+                    ops.append((lanes[(c - k) % self.width], Direction.INPUT))
+                self._emit(builder, ops[:MAX_TASK_OPERANDS], recent,
+                           runtime_scale=1.0 + self.skew * (c / span))
+                recent.append(lanes[c])
+            del recent[:-4 * self.width]
+
+
+#: The nine families, in registration order.
 SYNTHETIC_FAMILIES = (ForkJoinWorkload, LayeredWorkload, StencilWorkload,
                       ReductionTreeWorkload, PipelineChainWorkload,
-                      RandomDagWorkload)
+                      RandomDagWorkload, Stencil2DWorkload, Stencil3DWorkload,
+                      SkewedLanesWorkload)

@@ -30,7 +30,8 @@ from repro.workloads.synthetic import (MAX_TASK_OPERANDS, RUNTIME_DISTRIBUTIONS,
                                        RandomDagWorkload, RuntimeModel)
 
 FAMILIES = ["fork_join", "layered", "stencil", "reduction_tree",
-            "pipeline_chain", "random_dag"]
+            "pipeline_chain", "random_dag", "stencil2d", "stencil3d",
+            "skewed_lanes"]
 
 
 # ---------------------------------------------------------------------------
